@@ -1,0 +1,87 @@
+// Shared plumbing for the benchmark binaries.
+//
+// Every bench binary reproduces one paper figure or claim: it first prints
+// a report (the scenario's event series or a parameter-sweep table — the
+// "figure"), then runs google-benchmark over the underlying simulation so
+// the implementation's own costs are tracked too.  Virtual-time results
+// are attached to the google-benchmark runs as counters.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/scenario.h"
+#include "core/workloads.h"
+#include "trace/timeline.h"
+#include "util/table.h"
+
+namespace ocsp::bench {
+
+/// Print the protocol-relevant slice of a run's timeline (forks, joins,
+/// commits, aborts, rollbacks, message sends/deliveries).
+inline void print_timeline(const trace::Timeline& timeline,
+                           bool include_messages = true,
+                           std::size_t max_lines = 80) {
+  std::size_t printed = 0;
+  for (const auto& e : timeline.entries()) {
+    using K = trace::TimelineEntry::Kind;
+    const bool is_message =
+        e.kind == K::kMsgSend || e.kind == K::kMsgDeliver;
+    if (is_message && !include_messages) continue;
+    if (e.kind == K::kNote) continue;
+    std::printf("  %s\n", trace::to_string(e).c_str());
+    if (++printed >= max_lines) {
+      std::printf("  ... (%zu more entries)\n",
+                  timeline.entries().size() - printed);
+      break;
+    }
+  }
+}
+
+/// Run a scenario in both modes and return (pessimistic, optimistic).
+inline std::pair<baseline::RunResult, baseline::RunResult> run_both(
+    const baseline::Scenario& scenario,
+    sim::Time deadline = sim::kTimeNever) {
+  return {baseline::run_scenario(scenario, false, deadline),
+          baseline::run_scenario(scenario, true, deadline)};
+}
+
+inline double speedup(const baseline::RunResult& pessimistic,
+                      const baseline::RunResult& optimistic) {
+  if (optimistic.last_completion == 0) return 0.0;
+  return static_cast<double>(pessimistic.last_completion) /
+         static_cast<double>(optimistic.last_completion);
+}
+
+/// Attach the standard virtual-time counters to a google-benchmark state.
+inline void set_counters(benchmark::State& state,
+                         const baseline::RunResult& result) {
+  state.counters["virt_ms"] = sim::to_millis(result.last_completion);
+  state.counters["commits"] = static_cast<double>(result.stats.commits);
+  state.counters["aborts"] =
+      static_cast<double>(result.stats.total_aborts());
+  state.counters["rollbacks"] =
+      static_cast<double>(result.stats.rollbacks);
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("==============================================================="
+              "=\n%s\n%s\n============================================="
+              "===================\n\n",
+              experiment, claim);
+}
+
+}  // namespace ocsp::bench
+
+/// Standard main: print the figure/report, then run google-benchmark.
+#define OCSP_BENCH_MAIN(report_fn)                       \
+  int main(int argc, char** argv) {                      \
+    report_fn();                                         \
+    benchmark::Initialize(&argc, argv);                  \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                 \
+    benchmark::Shutdown();                               \
+    return 0;                                            \
+  }

@@ -1,0 +1,61 @@
+// Experiment C1 — the paper's central performance claim (sections 1, 6):
+// call streaming "is extremely valuable when bandwidth is high but
+// round-trip delays are long", i.e. the speedup grows with network latency
+// relative to local compute.
+#include "bench_common.h"
+
+namespace ocsp::bench {
+namespace {
+
+core::PutLineParams params_for(sim::Time latency) {
+  core::PutLineParams p;
+  p.lines = 16;
+  p.net.latency = latency;
+  p.service_time = sim::microseconds(10);
+  p.client_compute = sim::microseconds(10);
+  return p;
+}
+
+void report() {
+  print_header(
+      "C1 — speedup vs round-trip latency",
+      "Claim: optimism wins big when RTT >> compute; at near-zero latency\n"
+      "the transformation costs little and gains little.");
+
+  util::Table table({"one-way latency", "sequential ms", "streamed ms",
+                     "speedup", "aborts"});
+  for (sim::Time lat :
+       {sim::microseconds(1), sim::microseconds(10), sim::microseconds(100),
+        sim::microseconds(1000), sim::microseconds(10000),
+        sim::microseconds(100000)}) {
+    auto scenario = core::putline_scenario(params_for(lat));
+    auto [pess, opt] = run_both(scenario);
+    char lat_label[32];
+    std::snprintf(lat_label, sizeof lat_label, "%gus", sim::to_micros(lat));
+    table.row(lat_label,
+              sim::to_millis(pess.last_completion),
+              sim::to_millis(opt.last_completion), speedup(pess, opt),
+              opt.stats.total_aborts());
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: speedup ~1x at 1us, rising monotonically and\n"
+      "saturating near `lines` (16x) once the RTT dominates everything.\n\n");
+}
+
+void BM_LatencySweep(benchmark::State& state) {
+  const sim::Time lat = sim::microseconds(state.range(0));
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result =
+        baseline::run_scenario(core::putline_scenario(params_for(lat)), true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result);
+}
+BENCHMARK(BM_LatencySweep)->Arg(10)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace ocsp::bench
+
+OCSP_BENCH_MAIN(ocsp::bench::report)

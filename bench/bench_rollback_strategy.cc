@@ -1,0 +1,113 @@
+// Experiment C4 — rollback strategy ablation (section 4.1.3).
+//
+// "To prepare for rollback, a process may take a state checkpoint at each
+// point prior to acquiring a new commit guard predicate [Time Warp].
+// Alternatively, a process may take less frequent checkpoints, and log
+// input messages, restoring the state by resuming from the checkpoint and
+// replaying the logged messages [Optimistic Recovery].  The particular
+// technique used for rollback is a performance tuning decision and does
+// not affect the correctness of the transformation."
+//
+// This bench quantifies the trade: full checkpoints per dependency
+// acquisition vs one checkpoint plus replay work on each rollback.
+#include "bench_common.h"
+
+namespace ocsp::bench {
+namespace {
+
+core::PutLineParams workload(int lines, double fail, std::uint64_t seed,
+                             spec::RollbackStrategy strategy) {
+  core::PutLineParams p;
+  p.lines = lines;
+  p.fail_probability = fail;
+  p.seed = seed;
+  p.net.latency = sim::microseconds(300);
+  p.spec.rollback = strategy;
+  return p;
+}
+
+struct StrategyRow {
+  std::uint64_t server_checkpoints = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t rollbacks = 0;
+  sim::Time completion = 0;
+  bool trace_match = false;
+};
+
+StrategyRow run_one(int lines, double fail, spec::RollbackStrategy strategy) {
+  auto scenario = core::putline_scenario(workload(lines, fail, 7, strategy));
+  auto rt = baseline::make_runtime(scenario, true);
+  rt->run(sim::seconds(120));
+  StrategyRow row;
+  row.server_checkpoints = rt->process(rt->find("Y")).stats().checkpoints;
+  row.replays = rt->total_stats().replays;
+  row.rollbacks = rt->total_stats().rollbacks;
+  row.completion = rt->last_completion_time();
+  auto pess = baseline::run_scenario(scenario, false, sim::seconds(120));
+  std::string why;
+  row.trace_match =
+      trace::compare_traces(pess.trace, rt->committed_trace(), &why);
+  return row;
+}
+
+void report() {
+  print_header(
+      "C4 — rollback strategies: checkpoint-per-interval vs replay-from-log",
+      "Claim: the rollback technique is a tuning decision; both strategies\n"
+      "produce the sequential trace, trading checkpoint storage against\n"
+      "replay work on rollback.");
+
+  util::Table table({"workload", "strategy", "server checkpoints", "replays",
+                     "rollbacks", "completion ms", "trace match"});
+  for (double fail : {0.0, 0.3}) {
+    const std::string label =
+        "24 calls, " + std::to_string(static_cast<int>(fail * 100)) +
+        "% faults";
+    auto cp = run_one(24, fail,
+                      spec::RollbackStrategy::kCheckpointEveryInterval);
+    auto rp = run_one(24, fail, spec::RollbackStrategy::kReplayFromLog);
+    table.row(label, "checkpoint", cp.server_checkpoints, cp.replays,
+              cp.rollbacks, sim::to_millis(cp.completion), cp.trace_match);
+    table.row(label, "replay", rp.server_checkpoints, rp.replays,
+              rp.rollbacks, sim::to_millis(rp.completion), rp.trace_match);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: the server checkpoints once under replay vs once per\n"
+      "tagged request under checkpointing; completion times and committed\n"
+      "traces are identical — correctness is strategy-independent.\n\n");
+}
+
+void BM_CheckpointStrategy(benchmark::State& state) {
+  const double fail = static_cast<double>(state.range(0)) / 100.0;
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(
+        core::putline_scenario(workload(
+            24, fail, 7, spec::RollbackStrategy::kCheckpointEveryInterval)),
+        true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result);
+}
+BENCHMARK(BM_CheckpointStrategy)->Arg(0)->Arg(30);
+
+void BM_ReplayStrategy(benchmark::State& state) {
+  const double fail = static_cast<double>(state.range(0)) / 100.0;
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(
+        core::putline_scenario(
+            workload(24, fail, 7, spec::RollbackStrategy::kReplayFromLog)),
+        true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result);
+  state.counters["replays"] = static_cast<double>(result.stats.replays);
+}
+BENCHMARK(BM_ReplayStrategy)->Arg(0)->Arg(30);
+
+}  // namespace
+}  // namespace ocsp::bench
+
+OCSP_BENCH_MAIN(ocsp::bench::report)

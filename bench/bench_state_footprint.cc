@@ -1,0 +1,89 @@
+// Experiment C9 (extension) — speculative-state footprint over run length.
+//
+// The paper notes processes must "maintain the ability to roll back state"
+// but leaves reclamation open.  This bench measures the retained state
+// (checkpoints + logged inputs) of a long-running server as the request
+// count grows, with and without faults keeping guesses in doubt, under
+// both rollback strategies.  With GC the footprint is bounded by the
+// in-doubt window; without it it would grow linearly with uptime.
+#include "bench_common.h"
+#include "speculation/runtime.h"
+
+namespace ocsp::bench {
+namespace {
+
+struct Footprint {
+  std::size_t server_checkpoints = 0;
+  std::size_t server_log = 0;
+  std::uint64_t pruned_checkpoints = 0;
+  std::uint64_t pruned_log = 0;
+};
+
+Footprint measure(int lines, double fail, spec::RollbackStrategy strategy) {
+  core::PutLineParams p;
+  p.lines = lines;
+  p.fail_probability = fail;
+  p.net.latency = sim::microseconds(200);
+  p.spec.rollback = strategy;
+  p.spec.replay_checkpoint_every = 16;
+  auto rt = baseline::make_runtime(core::putline_scenario(p), true);
+  rt->run(sim::seconds(120));
+  const auto& server = rt->process(rt->find("Y"));
+  return Footprint{server.checkpoint_count(), server.input_log_size(),
+                   server.stats().checkpoints_pruned,
+                   server.stats().log_entries_pruned};
+}
+
+void report() {
+  print_header(
+      "C9 (extension) — retained speculative state vs run length",
+      "Claim: with GC, the server's retained checkpoints and input log are\n"
+      "bounded by the window of in-doubt guesses, not by the run length.");
+
+  util::Table table({"requests", "strategy", "live checkpoints", "live log",
+                     "pruned checkpoints", "pruned log entries"});
+  for (int lines : {16, 64, 256}) {
+    for (auto [strategy, name] :
+         {std::pair{spec::RollbackStrategy::kCheckpointEveryInterval,
+                    "checkpoint"},
+          std::pair{spec::RollbackStrategy::kReplayFromLog, "replay"}}) {
+      auto f = measure(lines, 0.0, strategy);
+      table.row(lines, name, f.server_checkpoints, f.server_log,
+                f.pruned_checkpoints, f.pruned_log);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: the \"live\" columns stay flat from 16 to 256\n"
+      "requests while the \"pruned\" columns grow linearly — retained state\n"
+      "tracks the in-doubt window, and everything else is reclaimed.\n\n");
+}
+
+void BM_FootprintCheckpointStrategy(benchmark::State& state) {
+  Footprint f;
+  for (auto _ : state) {
+    f = measure(static_cast<int>(state.range(0)), 0.0,
+                spec::RollbackStrategy::kCheckpointEveryInterval);
+    benchmark::DoNotOptimize(f.server_checkpoints);
+  }
+  state.counters["live_cp"] = static_cast<double>(f.server_checkpoints);
+  state.counters["pruned_cp"] = static_cast<double>(f.pruned_checkpoints);
+}
+BENCHMARK(BM_FootprintCheckpointStrategy)->Arg(64)->Arg(256);
+
+void BM_FootprintReplayStrategy(benchmark::State& state) {
+  Footprint f;
+  for (auto _ : state) {
+    f = measure(static_cast<int>(state.range(0)), 0.0,
+                spec::RollbackStrategy::kReplayFromLog);
+    benchmark::DoNotOptimize(f.server_log);
+  }
+  state.counters["live_log"] = static_cast<double>(f.server_log);
+  state.counters["pruned_log"] = static_cast<double>(f.pruned_log);
+}
+BENCHMARK(BM_FootprintReplayStrategy)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace ocsp::bench
+
+OCSP_BENCH_MAIN(ocsp::bench::report)

@@ -1,0 +1,71 @@
+// Experiment C3 — streaming depth: the right-branching fork structure of
+// section 3.2 at scale.  How does completion time scale with the number of
+// outstanding speculative calls, and what does the bookkeeping cost?
+#include "bench_common.h"
+
+namespace ocsp::bench {
+namespace {
+
+core::PutLineParams params_for(int lines) {
+  core::PutLineParams p;
+  p.lines = lines;
+  p.net.latency = sim::microseconds(1000);
+  p.service_time = sim::microseconds(10);
+  p.client_compute = sim::microseconds(2);
+  return p;
+}
+
+void report() {
+  print_header(
+      "C3 — streaming depth (outstanding speculative calls)",
+      "Claim: the fork chain scales; per-call cost approaches the service\n"
+      "time while the speedup approaches RTT/service.");
+
+  util::Table table({"calls in flight", "sequential ms", "streamed ms",
+                     "speedup", "checkpoints", "us per call"});
+  for (int lines : {1, 2, 4, 8, 16, 32, 64}) {
+    auto scenario = core::putline_scenario(params_for(lines));
+    auto [pess, opt] = run_both(scenario);
+    table.row(lines, sim::to_millis(pess.last_completion),
+              sim::to_millis(opt.last_completion), speedup(pess, opt),
+              opt.stats.checkpoints,
+              sim::to_micros(opt.last_completion) / lines);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: streamed completion ~ 1 RTT + calls x service;\n"
+      "us-per-call falls toward the service floor as the chain deepens.\n\n");
+}
+
+void BM_StreamDepth(benchmark::State& state) {
+  const int lines = static_cast<int>(state.range(0));
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(
+        core::putline_scenario(params_for(lines)), true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result);
+  state.SetItemsProcessed(state.iterations() * lines);
+}
+BENCHMARK(BM_StreamDepth)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RelayStreamDepth(benchmark::State& state) {
+  core::PipelineParams p;
+  p.calls = 12;
+  p.chain_depth = static_cast<int>(state.range(0));
+  p.net.latency = sim::microseconds(500);
+  p.stream_relays = true;
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(core::pipeline_scenario(p), true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result);
+}
+BENCHMARK(BM_RelayStreamDepth)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace ocsp::bench
+
+OCSP_BENCH_MAIN(ocsp::bench::report)

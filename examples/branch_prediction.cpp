@@ -1,0 +1,113 @@
+// Branch prediction across processes — the other application named in
+// section 1: "executing the likely outcome of a test in parallel with
+// making the test".
+//
+// The client asks a remote oracle whether each work item passes a check
+// (the test, S1) and then dispatches to the appropriate worker operation
+// (the outcome, S2).  The hint tells the runtime to guess "pass" and start
+// the likely branch while the oracle round trip is still in flight; a
+// wrong guess value-faults, rolls the speculative work back, and takes the
+// other branch.
+//
+// Build and run:   ./build/examples/branch_prediction
+#include <cstdio>
+
+#include "baseline/scenario.h"
+#include "csp/service.h"
+#include "transform/transform.h"
+#include "util/table.h"
+
+using namespace ocsp;
+using csp::lit;
+using csp::Value;
+using csp::var;
+
+namespace {
+
+baseline::Scenario make_scenario(int items, double pass_rate,
+                                 std::uint64_t seed) {
+  std::map<std::string, csp::PredictorSpec> preds;
+  preds.emplace("pass", csp::PredictorSpec::always(Value(true)));
+
+  csp::StmtPtr client = csp::seq({
+      csp::assign("i", lit(Value(0))),
+      csp::while_(
+          csp::lt(var("i"), lit(Value(items))),
+          csp::seq({
+              csp::call("Oracle", "Check", {var("i")}, "pass"),
+              csp::hint(preds, "branch"),
+              csp::if_(var("pass"),
+                       csp::call("Worker", "Process", {var("i")}, "r"),
+                       csp::call("Worker", "Reject", {var("i")}, "r")),
+              csp::print(csp::list_of({var("i"), var("pass"), var("r")})),
+              csp::assign("i", csp::add(var("i"), lit(Value(1)))),
+          })),
+      csp::print(lit(Value("all-items-done"))),
+  });
+  client = transform::insert_forks(client).program;
+
+  std::map<std::string, csp::NativeHandler> oracle;
+  oracle["Check"] = [pass_rate](const csp::ValueList&, csp::Env&,
+                                util::Rng& rng) {
+    return Value(rng.bernoulli(pass_rate));
+  };
+  csp::ServiceConfig oracle_cfg;
+  oracle_cfg.service_time = sim::microseconds(200);  // an expensive test
+
+  std::map<std::string, csp::NativeHandler> worker;
+  worker["Process"] = [](const csp::ValueList& args, csp::Env& state,
+                         util::Rng&) {
+    state.set("processed",
+              Value(state.get_or("processed", Value(0)).as_int() + 1));
+    return Value(args[0].as_int() * 2);
+  };
+  worker["Reject"] = [](const csp::ValueList&, csp::Env& state,
+                        util::Rng&) {
+    state.set("rejected",
+              Value(state.get_or("rejected", Value(0)).as_int() + 1));
+    return Value(-1);
+  };
+  csp::ServiceConfig worker_cfg;
+  worker_cfg.service_time = sim::microseconds(100);
+
+  baseline::Scenario scenario;
+  scenario.options.seed = seed;
+  scenario.options.default_link.latency =
+      net::fixed_latency(sim::microseconds(800));
+  scenario.add("X", std::move(client));
+  scenario.add("Oracle", csp::native_service(std::move(oracle), oracle_cfg));
+  scenario.add("Worker", csp::native_service(std::move(worker), worker_cfg));
+  return scenario;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Branch prediction across processes\n\n");
+  util::Table table({"pass rate", "sequential ms", "speculative ms",
+                     "speedup", "mispredicts", "traces match"});
+  for (double rate : {1.0, 0.9, 0.7, 0.5, 0.1}) {
+    auto scenario = make_scenario(/*items=*/12, rate, /*seed=*/11);
+    auto pessimistic = baseline::run_scenario(scenario, false);
+    auto optimistic = baseline::run_scenario(scenario, true);
+    std::string why;
+    const bool match =
+        trace::compare_traces(pessimistic.trace, optimistic.trace, &why);
+    table.row(rate, sim::to_millis(pessimistic.last_completion),
+              sim::to_millis(optimistic.last_completion),
+              static_cast<double>(pessimistic.last_completion) /
+                  static_cast<double>(optimistic.last_completion),
+              optimistic.stats.aborts_value_fault, match);
+    if (!match) {
+      std::printf("mismatch at rate %.1f: %s\n", rate, why.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "High pass rates hide the oracle round trip almost entirely; as the\n"
+      "prediction degrades, rollbacks eat the win — but correctness never\n"
+      "depends on the guess (section 1: \"whether we guess right or wrong,\n"
+      "our results are correct\").\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// The paper's running example (section 2, Figure 1):
+//
+//   /* S1 */  OK = Update(Item, Value);   -- database server
+//   /* S2 */  if OK  Write(File, "Did it") -- filesystem server
+//
+// The compiler is told to parallelize S1 and S2 with the guess OK = true.
+// This example shows both outcomes: the success path where the speculative
+// Write overlaps the Update round trip and commits, and the failure path
+// where Update returns false, the guess aborts, and the Write is undone as
+// if it never happened.
+//
+// Build and run:   ./build/examples/db_update
+#include <cstdio>
+
+#include "core/workloads.h"
+
+using namespace ocsp;
+
+namespace {
+
+void run_case(const char* label, double fail_probability) {
+  core::DbFsParams params;
+  params.transactions = 6;
+  params.net.latency = sim::milliseconds(1);
+  params.db_service_time = sim::microseconds(100);
+  params.fs_service_time = sim::microseconds(100);
+  params.update_fail_probability = fail_probability;
+
+  auto scenario = core::db_fs_scenario(params);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+
+  std::printf("%s (P[Update fails] = %.0f%%)\n", label,
+              fail_probability * 100);
+  std::printf("  sequential : %8.2f ms\n",
+              sim::to_millis(pessimistic.last_completion));
+  std::printf("  optimistic : %8.2f ms  (commits=%llu, value-faults=%llu, "
+              "rollbacks=%llu)\n",
+              sim::to_millis(optimistic.last_completion),
+              static_cast<unsigned long long>(optimistic.stats.commits),
+              static_cast<unsigned long long>(
+                  optimistic.stats.aborts_value_fault),
+              static_cast<unsigned long long>(optimistic.stats.rollbacks));
+  std::string why;
+  std::printf("  traces match: %s\n\n",
+              trace::compare_traces(pessimistic.trace, optimistic.trace, &why)
+                  ? "yes"
+                  : why.c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Database+filesystem example (paper section 2)\n\n");
+  run_case("all updates succeed", 0.0);
+  run_case("updates sometimes fail", 0.4);
+  run_case("updates always fail", 1.0);
+
+  std::printf(
+      "Note how the failure runs stay correct: the speculative Write is\n"
+      "rolled back before anything external observes it (section 3.1's\n"
+      "external-message buffering).\n");
+  return 0;
+}

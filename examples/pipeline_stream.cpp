@@ -1,0 +1,65 @@
+// Deep call streaming through a chain of relay services.
+//
+// Three configurations per chain depth:
+//   * sequential    — every call blocks end-to-end (Figure 2 at depth).
+//   * client-stream — only the client speculates; each relay still
+//     serializes on its downstream round trip, so the win is capped at
+//     roughly one chain traversal.
+//   * relay-stream  — the relays speculate too, replying with a guessed
+//     echo before their downstream call returns.  Guesses chain
+//     transitively (each reply's guard tag carries the relay's guess), and
+//     the data flood traverses the chain in a single pass; what remains is
+//     the commit cascade, one control-message hop per dependent guess.
+//
+// Build and run:   ./build/examples/pipeline_stream
+#include <cstdio>
+
+#include "core/workloads.h"
+#include "util/table.h"
+
+using namespace ocsp;
+
+namespace {
+
+baseline::RunResult run(int depth, bool stream, bool stream_relays) {
+  core::PipelineParams params;
+  params.calls = 12;
+  params.chain_depth = depth;
+  params.net.latency = sim::microseconds(500);
+  params.service_time = sim::microseconds(20);
+  params.stream = stream;
+  params.stream_relays = stream_relays;
+  return baseline::run_scenario(core::pipeline_scenario(params), stream);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Pipelined call streaming through relay chains (12 calls)\n\n");
+  util::Table table({"chain depth", "sequential ms", "client-stream ms",
+                     "relay-stream ms", "best speedup", "aborts"});
+  for (int depth : {1, 2, 4, 8}) {
+    auto sequential = run(depth, false, false);
+    auto client_only = run(depth, true, false);
+    auto full = run(depth, true, true);
+    table.row(depth, sim::to_millis(sequential.last_completion),
+              sim::to_millis(client_only.last_completion),
+              sim::to_millis(full.last_completion),
+              static_cast<double>(sequential.last_completion) /
+                  static_cast<double>(full.last_completion),
+              full.stats.total_aborts());
+
+    std::string why;
+    if (!trace::compare_traces(sequential.trace, full.trace, &why)) {
+      std::printf("TRACE MISMATCH at depth %d: %s\n", depth, why.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Relay streaming is the paper's speculation applied transitively:\n"
+      "every reply is guarded by the relay's own guess, PRECEDENCE chains\n"
+      "publish the ordering, and the commit cascade resolves the whole\n"
+      "pipeline without a single abort.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// A compact Time Warp engine (Jefferson, "Virtual Time") for the related-
+// work comparison of section 5.
+//
+// The paper contrasts its dynamically-determined partial order with Time
+// Warp's single, totally ordered global virtual time: under Time Warp,
+// "if two clients call a server then the server must process the calls in
+// the total order, or else roll back" even when the clients are causally
+// unrelated.  This engine implements the classic machinery — optimistic
+// event processing, state saving, stragglers, rollback, antimessages —
+// over application-assigned virtual receive times, so the benchmark can
+// count the rollbacks the total order forces on a shared-server workload
+// and compare them with the (zero) rollbacks the OCSP protocol performs on
+// the same workload.
+//
+// Wall-clock skew is modelled by per-link delivery delays measured in
+// engine rounds: a message sent in round r becomes visible to its
+// destination in round r + delay, which is what makes stragglers possible
+// in a sequential simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "csp/env.h"
+#include "csp/value.h"
+#include "sim/time.h"
+
+namespace ocsp::baseline::tw {
+
+using LpId = int;
+
+struct Event {
+  sim::Time recv_time = 0;  ///< virtual receive time (total order key)
+  sim::Time send_time = 0;
+  std::uint64_t id = 0;     ///< pairs a message with its antimessage
+  LpId src = -1;
+  LpId dst = -1;
+  std::string op;
+  csp::Value data;
+  bool anti = false;
+};
+
+/// An outgoing message produced by a handler: delivered to `dst` at
+/// virtual time `now + vt_delay`.
+struct Emit {
+  LpId dst = -1;
+  sim::Time vt_delay = 1;
+  std::string op;
+  csp::Value data;
+};
+
+/// Handler: mutate the LP state for one event and return messages to send.
+using Handler =
+    std::function<std::vector<Emit>(csp::Env& state, const Event& event)>;
+
+struct TimeWarpStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t events_rolled_back = 0;
+  std::uint64_t antimessages_sent = 0;
+  std::uint64_t state_saves = 0;
+};
+
+class Engine {
+ public:
+  /// `wall_delay_rounds`: engine rounds before a sent message becomes
+  /// visible at its destination (per-LP-pair overrides available).
+  explicit Engine(int default_wall_delay_rounds = 1);
+
+  LpId add_lp(std::string name, Handler handler, csp::Env initial_state = {});
+
+  void set_wall_delay(LpId src, LpId dst, int rounds);
+
+  /// Inject an initial event (visible immediately).
+  void inject(LpId dst, sim::Time recv_time, std::string op, csp::Value data);
+
+  /// Round-robin the LPs until no work remains (or the round limit hits).
+  /// Returns true if the run drained normally.
+  bool run(std::uint64_t max_rounds = 1u << 22);
+
+  const TimeWarpStats& stats() const { return stats_; }
+  const csp::Env& state_of(LpId id) const;
+  sim::Time lvt_of(LpId id) const;
+  /// Global virtual time: minimum of LP LVTs and in-flight send times.
+  sim::Time gvt() const;
+
+ private:
+  struct Lp {
+    std::string name;
+    Handler handler;
+    csp::Env state;
+    sim::Time lvt = -1;
+    /// Processed events (ascending recv_time) with pre-state snapshots and
+    /// the ids of messages each one emitted.
+    struct Processed {
+      Event event;
+      csp::Env pre_state;
+      std::vector<Event> sent;  ///< copies, for antimessage generation
+    };
+    std::vector<Processed> processed;
+    /// Pending input events ordered by (recv_time, id).
+    std::vector<Event> pending;
+  };
+
+  struct InFlight {
+    std::uint64_t visible_round;
+    Event event;
+  };
+
+  void deliver_visible();
+  void enqueue(Lp& lp, const Event& event);
+  void rollback(Lp& lp, sim::Time to_before, std::uint64_t straggler_id);
+  bool step_lp(Lp& lp);
+  void send(const Event& event);
+
+  int default_delay_;
+  std::map<std::pair<LpId, LpId>, int> delays_;
+  std::vector<Lp> lps_;
+  std::vector<InFlight> in_flight_;
+  std::uint64_t round_ = 0;
+  std::uint64_t next_id_ = 1;
+  TimeWarpStats stats_;
+};
+
+}  // namespace ocsp::baseline::tw

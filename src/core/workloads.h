@@ -1,0 +1,140 @@
+// Canonical workloads of the paper, shared by tests, benchmarks, and
+// examples.
+//
+// Each builder returns a baseline::Scenario containing the *sequential*
+// programs plus the transformed (streamed / hint-expanded) variants, so a
+// caller can run the same workload pessimistically and optimistically and
+// compare completion times and committed traces.
+#pragma once
+
+#include <string>
+
+#include "baseline/scenario.h"
+#include "csp/program.h"
+#include "csp/service.h"
+#include "net/latency.h"
+#include "sim/time.h"
+#include "speculation/config.h"
+
+namespace ocsp::core {
+
+struct NetworkParams {
+  sim::Time latency = sim::microseconds(500);  ///< one-way link latency
+  sim::Time jitter = 0;                        ///< uniform extra delay
+  bool fifo = true;
+};
+
+net::LinkConfig make_link(const NetworkParams& params);
+
+// ---------------------------------------------------------------------------
+// PutLine (section 1, Figures 1-3): client X streams lines to window
+// manager Y; each PutLine returns a success flag the next call's
+// continuation consumes.
+// ---------------------------------------------------------------------------
+struct PutLineParams {
+  int lines = 8;
+  sim::Time service_time = sim::microseconds(10);
+  sim::Time client_compute = sim::microseconds(5);  ///< per-line local work
+  double fail_probability = 0.0;  ///< PutLine returns false this often
+  bool stream = true;             ///< apply the call streaming transform
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario putline_scenario(const PutLineParams& params);
+
+// ---------------------------------------------------------------------------
+// Database + filesystem (section 2, Figure 1): S1 = Update on the DB
+// server, S2 = Write to the filesystem server guarded by OK.
+// ---------------------------------------------------------------------------
+struct DbFsParams {
+  int transactions = 4;
+  sim::Time db_service_time = sim::microseconds(20);
+  sim::Time fs_service_time = sim::microseconds(20);
+  double update_fail_probability = 0.0;  ///< OK=false this often
+  bool transform = true;                 ///< expand the parallelize hint
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario db_fs_scenario(const DbFsParams& params);
+
+// ---------------------------------------------------------------------------
+// Pipeline: client streams calls through a chain of relay services
+// (depth-k right-branching fork structure).
+// ---------------------------------------------------------------------------
+struct PipelineParams {
+  int calls = 8;
+  int chain_depth = 3;  ///< relays between client and final server
+  sim::Time service_time = sim::microseconds(5);
+  bool stream = true;
+  /// Also stream the relays' own downstream calls: each relay replies
+  /// speculatively (guessing the echo) before its downstream call returns,
+  /// so guesses chain transitively through the whole pipeline.  Without
+  /// this, a relay serializes on its downstream round trip and the client-
+  /// side win is capped at one chain traversal.
+  bool stream_relays = false;
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario pipeline_scenario(const PipelineParams& params);
+
+// ---------------------------------------------------------------------------
+// The section 2 topology with a write-through: X's S1 updates server Y,
+// which synchronously propagates to server Z; X's S2 then writes to Z
+// directly.  With `force_fault` the speculative direct write overtakes Y's
+// propagation at Z, creating the happens-before cycle of Figure 4; the
+// protocol detects the time fault, aborts, rolls Z and Y back, and
+// re-executes as in Figure 5.
+// ---------------------------------------------------------------------------
+struct WriteThroughParams {
+  bool force_fault = true;  ///< make X->Z fast and Y->Z slow
+  int transactions = 1;
+  sim::Time service_time = sim::microseconds(10);
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario write_through_scenario(const WriteThroughParams& params);
+
+// ---------------------------------------------------------------------------
+// Two mutually speculating clients sharing servers (Figures 6-7): X forks
+// around a call to Y and its right thread messages Z's server-side; Z does
+// the same towards X's side.  With crossing enabled the two speculations
+// close a causal cycle and must both abort.
+// ---------------------------------------------------------------------------
+struct MutualParams {
+  bool crossing = false;  ///< true reproduces the Figure 7 cycle
+  sim::Time service_time = sim::microseconds(10);
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario mutual_scenario(const MutualParams& params);
+
+// ---------------------------------------------------------------------------
+// Shared server with independent clients (section 5 comparison workload):
+// two clients stream requests into one server; the partial order accepts
+// any interleaving.
+// ---------------------------------------------------------------------------
+struct SharedServerParams {
+  int clients = 2;
+  int calls_per_client = 6;
+  sim::Time service_time = sim::microseconds(10);
+  /// Per-client extra latency towards the server, staggering arrivals.
+  sim::Time client_skew = sim::microseconds(200);
+  bool stream = true;
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario shared_server_scenario(const SharedServerParams& params);
+
+}  // namespace ocsp::core

@@ -1,0 +1,44 @@
+#include "csp/env.h"
+
+#include "util/check.h"
+
+namespace ocsp::csp {
+
+const Value& Env::get(const std::string& name) const {
+  auto it = vars_.find(name);
+  OCSP_CHECK_MSG(it != vars_.end(), ("unbound variable: " + name).c_str());
+  return it->second;
+}
+
+const Value& Env::get_or(const std::string& name,
+                         const Value& fallback) const {
+  auto it = vars_.find(name);
+  return it == vars_.end() ? fallback : it->second;
+}
+
+void Env::set(const std::string& name, Value value) {
+  vars_[name] = std::move(value);
+}
+
+bool Env::has(const std::string& name) const { return vars_.count(name) > 0; }
+
+void Env::erase(const std::string& name) { vars_.erase(name); }
+
+std::set<std::string> Env::names() const {
+  std::set<std::string> out;
+  for (const auto& [k, v] : vars_) out.insert(k);
+  return out;
+}
+
+std::string Env::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : vars_) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + "=" + v.to_string();
+  }
+  return out + "}";
+}
+
+}  // namespace ocsp::csp

@@ -1,0 +1,45 @@
+// Variable environment: the data half of a checkpointable machine state.
+//
+// Rollback in this library is "swap the state value back in"; Env is a
+// plain copyable map so a checkpoint is an ordinary copy.  std::map keeps
+// iteration deterministic, which matters for trace comparison.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "csp/value.h"
+
+namespace ocsp::csp {
+
+class Env {
+ public:
+  /// Read a variable; OCSP_CHECK-fails if absent (programs must assign
+  /// before use — the transformer's passed-variable analysis relies on it).
+  const Value& get(const std::string& name) const;
+
+  /// Read a variable, or `fallback` if absent.
+  const Value& get_or(const std::string& name, const Value& fallback) const;
+
+  void set(const std::string& name, Value value);
+  bool has(const std::string& name) const;
+  void erase(const std::string& name);
+
+  std::size_t size() const { return vars_.size(); }
+
+  /// Names currently bound (deterministic order).
+  std::set<std::string> names() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Env&, const Env&) = default;
+
+  auto begin() const { return vars_.begin(); }
+  auto end() const { return vars_.end(); }
+
+ private:
+  std::map<std::string, Value> vars_;
+};
+
+}  // namespace ocsp::csp

@@ -1,0 +1,138 @@
+// Expression language of the CSP program IR.
+//
+// Expressions are immutable, shared, and side-effect free; evaluation reads
+// the Env only.  collect_reads() feeds the transformer's def/use analysis
+// (computing the passed set {v_i} of a fork and detecting anti-dependencies
+// that force a state copy — section 3.2 of the paper).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "csp/env.h"
+#include "csp/value.h"
+
+namespace ocsp::csp {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  virtual Value eval(const Env& env) const = 0;
+  virtual void collect_reads(std::set<std::string>& out) const = 0;
+  virtual std::string to_string() const = 0;
+};
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(Value v) : value_(std::move(v)) {}
+  Value eval(const Env&) const override { return value_; }
+  void collect_reads(std::set<std::string>&) const override {}
+  std::string to_string() const override { return value_.to_string(); }
+
+ private:
+  Value value_;
+};
+
+class VarExpr final : public Expr {
+ public:
+  explicit VarExpr(std::string name) : name_(std::move(name)) {}
+  Value eval(const Env& env) const override { return env.get(name_); }
+  void collect_reads(std::set<std::string>& out) const override {
+    out.insert(name_);
+  }
+  std::string to_string() const override { return name_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+enum class UnaryOp { kNot, kNeg };
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnaryOp op, ExprPtr operand);
+  Value eval(const Env& env) const override;
+  void collect_reads(std::set<std::string>& out) const override;
+  std::string to_string() const override;
+
+ private:
+  UnaryOp op_;
+  ExprPtr operand_;
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  Value eval(const Env& env) const override;
+  void collect_reads(std::set<std::string>& out) const override;
+  std::string to_string() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+/// list[index] — used to unpack the __args list bound by Receive.
+class IndexExpr final : public Expr {
+ public:
+  IndexExpr(ExprPtr list, ExprPtr index);
+  Value eval(const Env& env) const override;
+  void collect_reads(std::set<std::string>& out) const override;
+  std::string to_string() const override;
+
+ private:
+  ExprPtr list_;
+  ExprPtr index_;
+};
+
+/// [e0, e1, ...] — list construction (call argument packing).
+class ListExpr final : public Expr {
+ public:
+  explicit ListExpr(std::vector<ExprPtr> items);
+  Value eval(const Env& env) const override;
+  void collect_reads(std::set<std::string>& out) const override;
+  std::string to_string() const override;
+
+ private:
+  std::vector<ExprPtr> items_;
+};
+
+// ---- Builder helpers ------------------------------------------------------
+
+ExprPtr lit(Value v);
+ExprPtr var(std::string name);
+ExprPtr not_(ExprPtr e);
+ExprPtr neg(ExprPtr e);
+ExprPtr add(ExprPtr a, ExprPtr b);
+ExprPtr sub(ExprPtr a, ExprPtr b);
+ExprPtr mul(ExprPtr a, ExprPtr b);
+ExprPtr div_(ExprPtr a, ExprPtr b);
+ExprPtr mod(ExprPtr a, ExprPtr b);
+ExprPtr eq(ExprPtr a, ExprPtr b);
+ExprPtr ne(ExprPtr a, ExprPtr b);
+ExprPtr lt(ExprPtr a, ExprPtr b);
+ExprPtr le(ExprPtr a, ExprPtr b);
+ExprPtr gt(ExprPtr a, ExprPtr b);
+ExprPtr ge(ExprPtr a, ExprPtr b);
+ExprPtr and_(ExprPtr a, ExprPtr b);
+ExprPtr or_(ExprPtr a, ExprPtr b);
+ExprPtr index(ExprPtr list, ExprPtr i);
+ExprPtr list_of(std::vector<ExprPtr> items);
+
+/// __args[i]: the i-th argument of the request currently being served.
+ExprPtr arg(int i);
+
+}  // namespace ocsp::csp

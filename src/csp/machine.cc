@@ -1,0 +1,202 @@
+#include "csp/machine.h"
+
+#include "util/check.h"
+
+namespace ocsp::csp {
+
+Machine::Machine(StmtPtr program, Env env, util::Rng rng)
+    : program_(std::move(program)), env_(std::move(env)), rng_(rng) {
+  OCSP_CHECK(program_ != nullptr);
+  push(program_.get());
+  state_ = MachineState::kReady;
+}
+
+void Machine::push(const Stmt* stmt) { stack_.push_back(Frame{stmt, 0}); }
+
+Effect Machine::step() {
+  OCSP_CHECK_MSG(state_ == MachineState::kReady, "step() while not ready");
+  while (!stack_.empty()) {
+    Frame& frame = stack_.back();
+    const Stmt* stmt = frame.stmt;
+    switch (stmt->kind) {
+      case StmtKind::kSeq: {
+        const auto& s = static_cast<const SeqStmt&>(*stmt);
+        if (frame.pc < s.body.size()) {
+          const Stmt* child = s.body[frame.pc].get();
+          ++frame.pc;
+          push(child);
+        } else {
+          stack_.pop_back();
+        }
+        break;
+      }
+      case StmtKind::kAssign: {
+        const auto& s = static_cast<const AssignStmt&>(*stmt);
+        env_.set(s.variable, s.value->eval(env_));
+        stack_.pop_back();
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& s = static_cast<const IfStmt&>(*stmt);
+        const bool taken = s.cond->eval(env_).truthy();
+        stack_.pop_back();
+        if (taken) {
+          push(s.then_branch.get());
+        } else if (s.else_branch) {
+          push(s.else_branch.get());
+        }
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const WhileStmt&>(*stmt);
+        if (s.cond->eval(env_).truthy()) {
+          push(s.body.get());  // frame stays; cond re-evaluated on return
+        } else {
+          stack_.pop_back();
+        }
+        break;
+      }
+      case StmtKind::kNative: {
+        const auto& s = static_cast<const NativeStmt&>(*stmt);
+        stack_.pop_back();
+        s.fn(env_, rng_);
+        break;
+      }
+      case StmtKind::kNop:
+      case StmtKind::kHint:  // untransformed hints behave as no-ops
+        stack_.pop_back();
+        break;
+      case StmtKind::kCall: {
+        const auto& s = static_cast<const CallStmt&>(*stmt);
+        Effect e;
+        e.kind = Effect::Kind::kCall;
+        e.target = s.target;
+        e.op = s.op;
+        for (const auto& a : s.args) e.args.push_back(a->eval(env_));
+        pending_result_var_ = s.result_var;
+        stack_.pop_back();
+        state_ = MachineState::kAwaitReply;
+        return e;
+      }
+      case StmtKind::kSend: {
+        const auto& s = static_cast<const SendStmt&>(*stmt);
+        Effect e;
+        e.kind = Effect::Kind::kSend;
+        e.target = s.target;
+        e.op = s.op;
+        for (const auto& a : s.args) e.args.push_back(a->eval(env_));
+        stack_.pop_back();
+        return e;  // state stays kReady
+      }
+      case StmtKind::kReceive: {
+        stack_.pop_back();
+        state_ = MachineState::kAwaitMessage;
+        Effect e;
+        e.kind = Effect::Kind::kReceive;
+        return e;
+      }
+      case StmtKind::kReply: {
+        const auto& s = static_cast<const ReplyStmt&>(*stmt);
+        Effect e;
+        e.kind = Effect::Kind::kReply;
+        e.value = s.value->eval(env_);
+        e.reply_caller = env_.get("__caller").as_int();
+        e.reply_reqid = env_.get("__reqid").as_int();
+        stack_.pop_back();
+        return e;  // state stays kReady
+      }
+      case StmtKind::kPrint: {
+        const auto& s = static_cast<const PrintStmt&>(*stmt);
+        Effect e;
+        e.kind = Effect::Kind::kPrint;
+        e.value = s.value->eval(env_);
+        stack_.pop_back();
+        return e;  // state stays kReady
+      }
+      case StmtKind::kCompute: {
+        const auto& s = static_cast<const ComputeStmt&>(*stmt);
+        Effect e;
+        e.kind = Effect::Kind::kCompute;
+        e.duration = s.duration;
+        stack_.pop_back();
+        state_ = MachineState::kAwaitCompute;
+        return e;
+      }
+      case StmtKind::kFork: {
+        const auto& s = static_cast<const ForkStmt&>(*stmt);
+        Effect e;
+        e.kind = Effect::Kind::kFork;
+        e.fork = &s;
+        state_ = MachineState::kAtFork;  // frame stays until branch taken
+        return e;
+      }
+    }
+  }
+  state_ = MachineState::kDone;
+  Effect e;
+  e.kind = Effect::Kind::kDone;
+  return e;
+}
+
+void Machine::resume_with_value(Value v) {
+  OCSP_CHECK_MSG(state_ == MachineState::kAwaitReply,
+                 "resume_with_value() while not awaiting a reply");
+  if (!pending_result_var_.empty()) {
+    env_.set(pending_result_var_, std::move(v));
+  }
+  pending_result_var_.clear();
+  state_ = MachineState::kReady;
+}
+
+void Machine::resume() {
+  OCSP_CHECK_MSG(state_ == MachineState::kAwaitCompute,
+                 "resume() while not awaiting a compute");
+  state_ = MachineState::kReady;
+}
+
+void Machine::take_fork_sequential() {
+  OCSP_CHECK_MSG(state_ == MachineState::kAtFork,
+                 "take_fork_sequential() while not at a fork");
+  OCSP_CHECK(!stack_.empty());
+  const Stmt* top = stack_.back().stmt;
+  OCSP_CHECK(top->kind == StmtKind::kFork);
+  const auto& f = static_cast<const ForkStmt&>(*top);
+  stack_.pop_back();
+  push(f.right.get());  // runs second
+  push(f.left.get());   // runs first
+  state_ = MachineState::kReady;
+}
+
+void Machine::deliver(std::string op, ValueList args, std::int64_t caller,
+                      std::int64_t reqid, bool is_call) {
+  OCSP_CHECK_MSG(state_ == MachineState::kAwaitMessage,
+                 "deliver() while not awaiting a message");
+  env_.set("__op", Value(std::move(op)));
+  env_.set("__args", Value(std::move(args)));
+  env_.set("__caller", Value(caller));
+  env_.set("__reqid", Value(reqid));
+  env_.set("__is_call", Value(is_call));
+  state_ = MachineState::kReady;
+}
+
+void Machine::take_fork_branch(bool left) {
+  OCSP_CHECK_MSG(state_ == MachineState::kAtFork,
+                 "take_fork_branch() while not at a fork");
+  OCSP_CHECK(!stack_.empty());
+  const Stmt* top = stack_.back().stmt;
+  OCSP_CHECK(top->kind == StmtKind::kFork);
+  const auto& f = static_cast<const ForkStmt&>(*top);
+  stack_.pop_back();
+  if (left) {
+    // The left thread executes S1 only; the continuation of the enclosing
+    // program belongs to the right thread (section 3.2), so the remaining
+    // frames are dropped.
+    stack_.clear();
+    push(f.left.get());
+  } else {
+    push(f.right.get());
+  }
+  state_ = MachineState::kReady;
+}
+
+}  // namespace ocsp::csp

@@ -1,0 +1,113 @@
+// Checkpointable step interpreter for the CSP program IR.
+//
+// A Machine is a first-class value: (program, frame stack, Env, Rng).
+// Copying a Machine is a checkpoint; assigning a saved copy back is a
+// rollback.  This is the property the whole speculation layer leans on —
+// both rollback strategies of section 4.1.3 (checkpoint-per-interval and
+// replay-from-log) reduce to Machine copies.
+//
+// step() runs pure-local statements (assign/if/while/native/...) inline and
+// pauses at every statement with an external effect (call, send, receive,
+// reply, print, compute, fork), returning an Effect describing what the
+// runtime must do.  The machine then waits in a state matching the effect
+// until the runtime resumes it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csp/env.h"
+#include "csp/program.h"
+#include "util/rng.h"
+
+namespace ocsp::csp {
+
+enum class MachineState {
+  kReady,         ///< step() may be called
+  kAwaitReply,    ///< paused at a Call; resume_with_value()
+  kAwaitMessage,  ///< paused at a Receive; deliver()
+  kAwaitCompute,  ///< paused at a Compute; resume()
+  kAtFork,        ///< paused at a Fork; take_fork_branch()
+  kDone,          ///< program finished
+};
+
+struct Effect {
+  enum class Kind {
+    kDone,
+    kCall,
+    kSend,
+    kReceive,
+    kReply,
+    kPrint,
+    kCompute,
+    kFork,
+  };
+  Kind kind = Kind::kDone;
+  std::string target;  // Call/Send: destination process name
+  std::string op;      // Call/Send: operation name
+  ValueList args;      // Call/Send: evaluated arguments
+  Value value;         // Reply/Print: evaluated payload
+  std::int64_t reply_caller = -1;  // Reply: __caller of the served request
+  std::int64_t reply_reqid = -1;   // Reply: __reqid of the served request
+  sim::Time duration = 0;          // Compute
+  const ForkStmt* fork = nullptr;  // Fork
+};
+
+class Machine {
+ public:
+  /// An empty machine is Done.
+  Machine() = default;
+
+  Machine(StmtPtr program, Env env, util::Rng rng);
+
+  MachineState state() const { return state_; }
+  bool done() const { return state_ == MachineState::kDone; }
+
+  /// Advance until an effect is produced.  Requires state() == kReady.
+  Effect step();
+
+  /// Complete a Call: binds the reply value to the call's result variable.
+  void resume_with_value(Value v);
+
+  /// Complete a Compute.
+  void resume();
+
+  /// Complete a Receive: binds __op/__args/__caller/__reqid/__is_call.
+  void deliver(std::string op, ValueList args, std::int64_t caller,
+               std::int64_t reqid, bool is_call);
+
+  /// At a Fork: replace the fork frame with the chosen branch and return to
+  /// kReady.  The speculation layer copies the machine first, then sends the
+  /// original down the left branch and the copy down the right.
+  void take_fork_branch(bool left);
+
+  /// At a Fork: execute it pessimistically — S1, then S2, then the
+  /// continuation, all in this machine.  Used when speculation is disabled
+  /// or the fork site exhausted its retry limit L (section 3.3).
+  void take_fork_sequential();
+
+  Env& env() { return env_; }
+  const Env& env() const { return env_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Frame-stack depth, exposed for tests and diagnostics.
+  std::size_t depth() const { return stack_.size(); }
+
+ private:
+  struct Frame {
+    const Stmt* stmt;
+    std::size_t pc;
+  };
+
+  void push(const Stmt* stmt);
+
+  StmtPtr program_;  // owns the AST the frame pointers reference
+  std::vector<Frame> stack_;
+  Env env_;
+  util::Rng rng_;
+  MachineState state_ = MachineState::kDone;
+  std::string pending_result_var_;
+};
+
+}  // namespace ocsp::csp

@@ -1,0 +1,217 @@
+// Statement IR of CSP programs.
+//
+// A process's behaviour is a statement tree (immutable, shared).  The
+// "compiler" of the paper is modelled by transformation passes over this IR
+// (src/transform): a ParallelizeHint marks the S1;S2 boundary that the
+// programmer/profiler designated, and the fork-insertion / call-streaming
+// passes rewrite it into ForkStmt, the runtime primitive of section 4.2.1.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "csp/expr.h"
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace ocsp::csp {
+
+enum class StmtKind {
+  kSeq,
+  kAssign,
+  kIf,
+  kWhile,
+  kCall,     // two-way: send request, block for reply
+  kSend,     // one-way asynchronous send
+  kReceive,  // block for a request; binds __op/__args/__caller/__reqid
+  kReply,    // reply to the request bound by the latest Receive
+  kPrint,    // external observable output (buffered while speculative)
+  kCompute,  // burn virtual time (models local computation)
+  kNative,   // run a native function against the Env (deterministic)
+  kFork,     // optimistic fork (inserted by the transformer)
+  kHint,     // parallelization hint marker (input to the transformer)
+  kNop,
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// How to guess the value of one passed variable at a fork (section 3.2:
+/// "the compiler has been told how to guess for values defined in S1").
+struct PredictorSpec {
+  enum class Kind {
+    kConstant,       ///< always guess `constant`
+    kExpr,           ///< evaluate `expr` over the fork-point Env
+    kLastCommitted,  ///< per-site cache of the last committed actual value
+    kStride,         ///< last committed value + fixed stride (ints)
+  };
+  Kind kind = Kind::kConstant;
+  Value constant;
+  ExprPtr expr;
+  std::int64_t stride = 0;
+
+  static PredictorSpec always(Value v);
+  static PredictorSpec from_expr(ExprPtr e);
+  static PredictorSpec last_committed(Value initial);
+  static PredictorSpec strided(Value initial, std::int64_t stride);
+};
+
+struct Stmt {
+  explicit Stmt(StmtKind k) : kind(k) {}
+  virtual ~Stmt() = default;
+  StmtKind kind;
+};
+
+struct SeqStmt final : Stmt {
+  explicit SeqStmt(std::vector<StmtPtr> b)
+      : Stmt(StmtKind::kSeq), body(std::move(b)) {}
+  std::vector<StmtPtr> body;
+};
+
+struct AssignStmt final : Stmt {
+  AssignStmt(std::string v, ExprPtr e)
+      : Stmt(StmtKind::kAssign), variable(std::move(v)), value(std::move(e)) {}
+  std::string variable;
+  ExprPtr value;
+};
+
+struct IfStmt final : Stmt {
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
+      : Stmt(StmtKind::kIf),
+        cond(std::move(c)),
+        then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+};
+
+struct WhileStmt final : Stmt {
+  WhileStmt(ExprPtr c, StmtPtr b)
+      : Stmt(StmtKind::kWhile), cond(std::move(c)), body(std::move(b)) {}
+  ExprPtr cond;
+  StmtPtr body;
+};
+
+struct CallStmt final : Stmt {
+  CallStmt(std::string t, std::string o, std::vector<ExprPtr> a,
+           std::string r)
+      : Stmt(StmtKind::kCall),
+        target(std::move(t)),
+        op(std::move(o)),
+        args(std::move(a)),
+        result_var(std::move(r)) {}
+  std::string target;  ///< destination process name
+  std::string op;
+  std::vector<ExprPtr> args;
+  std::string result_var;  ///< variable receiving the reply value
+};
+
+struct SendStmt final : Stmt {
+  SendStmt(std::string t, std::string o, std::vector<ExprPtr> a)
+      : Stmt(StmtKind::kSend),
+        target(std::move(t)),
+        op(std::move(o)),
+        args(std::move(a)) {}
+  std::string target;
+  std::string op;
+  std::vector<ExprPtr> args;
+};
+
+struct ReceiveStmt final : Stmt {
+  ReceiveStmt() : Stmt(StmtKind::kReceive) {}
+};
+
+struct ReplyStmt final : Stmt {
+  explicit ReplyStmt(ExprPtr v) : Stmt(StmtKind::kReply), value(std::move(v)) {}
+  ExprPtr value;
+};
+
+struct PrintStmt final : Stmt {
+  explicit PrintStmt(ExprPtr v) : Stmt(StmtKind::kPrint), value(std::move(v)) {}
+  ExprPtr value;
+};
+
+struct ComputeStmt final : Stmt {
+  explicit ComputeStmt(sim::Time d) : Stmt(StmtKind::kCompute), duration(d) {}
+  sim::Time duration;
+};
+
+struct NativeStmt final : Stmt {
+  using Fn = std::function<void(Env&, util::Rng&)>;
+  NativeStmt(std::string l, Fn f)
+      : Stmt(StmtKind::kNative), label(std::move(l)), fn(std::move(f)) {}
+  std::string label;
+  Fn fn;  ///< must be deterministic given (Env, Rng) for replay to be exact
+};
+
+/// The runtime fork primitive.  `left` is S1; `right` is S2 followed by the
+/// continuation of the enclosing program (right-branching structure of
+/// section 3.2).  `passed` lists the variables S2 reads from S1; their
+/// guesses come from `predictors` (defaulting the missing ones is an error
+/// caught at transform time).
+struct ForkStmt final : Stmt {
+  ForkStmt() : Stmt(StmtKind::kFork) {}
+  StmtPtr left;
+  StmtPtr right;
+  std::vector<std::string> passed;
+  std::map<std::string, PredictorSpec> predictors;
+  /// Stable identifier of the fork site: keys the L-limit retry counter and
+  /// the last-committed predictor cache.
+  std::string site;
+  /// Left-thread timeout guarding against divergence of S1 (section 3.3);
+  /// 0 means use the runtime default.
+  sim::Time timeout = 0;
+  /// True if S2 overwrites a variable S1 reads (anti-dependency), forcing
+  /// the state copy; false allows the copy elision of section 3.2.
+  bool needs_copy = true;
+};
+
+/// Marker the programmer (or profiler) places between S1 and S2 inside a
+/// SeqStmt.  The transformer replaces Seq(pre..., Hint, post...) by
+/// Seq(pre..., Fork(left=S1, right=post)).  S1 is the statement immediately
+/// preceding the hint unless `span` widens it.
+struct HintStmt final : Stmt {
+  HintStmt() : Stmt(StmtKind::kHint) {}
+  std::map<std::string, PredictorSpec> predictors;
+  /// Number of preceding statements forming S1 (default 1).
+  std::size_t span = 1;
+  std::string site;
+  sim::Time timeout = 0;
+};
+
+struct NopStmt final : Stmt {
+  NopStmt() : Stmt(StmtKind::kNop) {}
+};
+
+// ---- Builder helpers ------------------------------------------------------
+
+StmtPtr seq(std::vector<StmtPtr> body);
+StmtPtr assign(std::string var, ExprPtr value);
+StmtPtr if_(ExprPtr cond, StmtPtr then_branch, StmtPtr else_branch = nullptr);
+StmtPtr while_(ExprPtr cond, StmtPtr body);
+StmtPtr call(std::string target, std::string op, std::vector<ExprPtr> args,
+             std::string result_var);
+StmtPtr send(std::string target, std::string op, std::vector<ExprPtr> args);
+StmtPtr receive();
+StmtPtr reply(ExprPtr value);
+StmtPtr print(ExprPtr value);
+StmtPtr compute(sim::Time duration);
+StmtPtr native(std::string label, NativeStmt::Fn fn);
+StmtPtr nop();
+StmtPtr hint(std::map<std::string, PredictorSpec> predictors,
+             std::string site, std::size_t span = 1, sim::Time timeout = 0);
+std::shared_ptr<const ForkStmt> fork(StmtPtr left, StmtPtr right,
+                                     std::vector<std::string> passed,
+                                     std::map<std::string, PredictorSpec> preds,
+                                     std::string site,
+                                     sim::Time timeout = 0,
+                                     bool needs_copy = true);
+
+/// Render a statement tree as indented pseudo-code (tests, debugging).
+std::string to_string(const StmtPtr& stmt);
+
+}  // namespace ocsp::csp

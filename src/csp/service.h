@@ -1,0 +1,47 @@
+// Helpers for building server processes.
+//
+// Servers in the paper (database, filesystem, window manager) are passive:
+// they loop receiving requests, do some work, and reply.  Crucially they
+// participate fully in the speculation protocol — a server that acted on a
+// speculative request inherits the caller's commit guard and is rolled back
+// if the guess aborts (Figure 3: Z is rolled back to point B).  These
+// helpers only build the IR; the speculation machinery is orthogonal.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "csp/program.h"
+
+namespace ocsp::csp {
+
+/// Native request handler.  `args` are the request arguments, `state` is the
+/// server's persistent Env (so handlers can read/write server state and be
+/// rolled back with it), `rng` is the server's checkpointed RNG.  The return
+/// value becomes the reply for two-way calls.
+using NativeHandler =
+    std::function<Value(const ValueList& args, Env& state, util::Rng& rng)>;
+
+struct ServiceConfig {
+  /// Virtual time consumed per request before the handler runs.
+  sim::Time service_time = 0;
+  /// Reply value for unknown operations (two-way calls only).
+  Value unknown_op_reply = Value();
+};
+
+/// Build `while (true) { receive; compute(service_time); dispatch; reply }`.
+/// Unknown ops get `unknown_op_reply`; one-way sends never reply.
+StmtPtr native_service(std::map<std::string, NativeHandler> handlers,
+                       ServiceConfig config = {});
+
+/// Build a service whose per-op bodies are IR fragments.  Each fragment may
+/// use __op/__args/__caller/__reqid and must issue its own Reply for calls.
+StmtPtr service_loop(std::map<std::string, StmtPtr> handlers,
+                     sim::Time service_time = 0);
+
+/// A trivial "sink" service: replies `reply_value` to every call after
+/// `service_time`.  Used by latency-focused benchmarks.
+StmtPtr echo_service(Value reply_value, sim::Time service_time);
+
+}  // namespace ocsp::csp

@@ -1,0 +1,152 @@
+#include "csp/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace ocsp::csp {
+
+Value::Type Value::type() const {
+  return static_cast<Type>(data_.index());
+}
+
+bool Value::as_bool() const {
+  OCSP_CHECK_MSG(type() == Type::kBool, "Value is not bool");
+  return std::get<bool>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  OCSP_CHECK_MSG(type() == Type::kInt, "Value is not int");
+  return std::get<std::int64_t>(data_);
+}
+
+double Value::as_real() const {
+  if (type() == Type::kInt) return static_cast<double>(as_int());
+  OCSP_CHECK_MSG(type() == Type::kReal, "Value is not real");
+  return std::get<double>(data_);
+}
+
+const std::string& Value::as_string() const {
+  OCSP_CHECK_MSG(type() == Type::kString, "Value is not string");
+  return std::get<std::string>(data_);
+}
+
+const ValueList& Value::as_list() const {
+  OCSP_CHECK_MSG(type() == Type::kList, "Value is not list");
+  return std::get<ValueList>(data_);
+}
+
+bool Value::truthy() const {
+  switch (type()) {
+    case Type::kNil:
+      return false;
+    case Type::kBool:
+      return std::get<bool>(data_);
+    case Type::kInt:
+      return std::get<std::int64_t>(data_) != 0;
+    case Type::kReal:
+      return std::get<double>(data_) != 0.0;
+    case Type::kString:
+      return !std::get<std::string>(data_).empty();
+    case Type::kList:
+      return !std::get<ValueList>(data_).empty();
+  }
+  return false;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case Type::kNil:
+      return "nil";
+    case Type::kBool:
+      return std::get<bool>(data_) ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(std::get<std::int64_t>(data_));
+    case Type::kReal: {
+      std::ostringstream os;
+      os << std::get<double>(data_);
+      return os.str();
+    }
+    case Type::kString:
+      return "\"" + std::get<std::string>(data_) + "\"";
+    case Type::kList: {
+      std::string out = "[";
+      const auto& list = std::get<ValueList>(data_);
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        if (i) out += ", ";
+        out += list[i].to_string();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+int Value::compare(const Value& a, const Value& b) {
+  const bool numeric = (a.type() == Type::kInt || a.type() == Type::kReal) &&
+                       (b.type() == Type::kInt || b.type() == Type::kReal);
+  if (numeric) {
+    if (a.type() == Type::kInt && b.type() == Type::kInt) {
+      const auto x = a.as_int(), y = b.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    const double x = a.as_real(), y = b.as_real();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.type() == Type::kString && b.type() == Type::kString) {
+    return a.as_string().compare(b.as_string());
+  }
+  OCSP_CHECK_MSG(false, "Value::compare on incomparable types");
+  return 0;
+}
+
+namespace {
+bool both_numeric(const Value& a, const Value& b) {
+  auto num = [](const Value& v) {
+    return v.type() == Value::Type::kInt || v.type() == Value::Type::kReal;
+  };
+  return num(a) && num(b);
+}
+bool both_int(const Value& a, const Value& b) {
+  return a.type() == Value::Type::kInt && b.type() == Value::Type::kInt;
+}
+}  // namespace
+
+Value value_add(const Value& a, const Value& b) {
+  if (a.type() == Value::Type::kString && b.type() == Value::Type::kString) {
+    return Value(a.as_string() + b.as_string());
+  }
+  OCSP_CHECK_MSG(both_numeric(a, b), "add on non-numeric values");
+  if (both_int(a, b)) return Value(a.as_int() + b.as_int());
+  return Value(a.as_real() + b.as_real());
+}
+
+Value value_sub(const Value& a, const Value& b) {
+  OCSP_CHECK_MSG(both_numeric(a, b), "sub on non-numeric values");
+  if (both_int(a, b)) return Value(a.as_int() - b.as_int());
+  return Value(a.as_real() - b.as_real());
+}
+
+Value value_mul(const Value& a, const Value& b) {
+  OCSP_CHECK_MSG(both_numeric(a, b), "mul on non-numeric values");
+  if (both_int(a, b)) return Value(a.as_int() * b.as_int());
+  return Value(a.as_real() * b.as_real());
+}
+
+Value value_div(const Value& a, const Value& b) {
+  OCSP_CHECK_MSG(both_numeric(a, b), "div on non-numeric values");
+  if (both_int(a, b)) {
+    OCSP_CHECK_MSG(b.as_int() != 0, "integer division by zero");
+    return Value(a.as_int() / b.as_int());
+  }
+  return Value(a.as_real() / b.as_real());
+}
+
+Value value_mod(const Value& a, const Value& b) {
+  OCSP_CHECK_MSG(both_int(a, b), "mod on non-int values");
+  OCSP_CHECK_MSG(b.as_int() != 0, "modulo by zero");
+  return Value(a.as_int() % b.as_int());
+}
+
+}  // namespace ocsp::csp

@@ -1,0 +1,68 @@
+// Dynamically typed values flowing through CSP programs.
+//
+// The IR is dynamically typed (like the Hermes programs the paper targeted
+// were at the level we model them): a Value is nil, bool, int, real, string,
+// or a list of values.  Values are the unit of guessing — a fork's predictor
+// produces a Value per passed variable, and the join verifier compares
+// Values for equality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace ocsp::csp {
+
+class Value;
+using ValueList = std::vector<Value>;
+
+class Value {
+ public:
+  enum class Type { kNil, kBool, kInt, kReal, kString, kList };
+
+  Value() : data_(std::monostate{}) {}
+  Value(bool b) : data_(b) {}
+  Value(std::int64_t i) : data_(i) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(ValueList l) : data_(std::move(l)) {}
+
+  Type type() const;
+  bool is_nil() const { return type() == Type::kNil; }
+
+  /// Typed accessors; OCSP_CHECK-fail on type mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_real() const;
+  const std::string& as_string() const;
+  const ValueList& as_list() const;
+
+  /// Truthiness: nil/false/0/0.0/""/[] are false, everything else true.
+  bool truthy() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+
+  /// Ordering for Lt/Le/...; defined for same-type numeric and string pairs.
+  static int compare(const Value& a, const Value& b);
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string,
+               ValueList>
+      data_;
+};
+
+/// Arithmetic helpers; numeric ops promote int->real when mixed.
+Value value_add(const Value& a, const Value& b);  ///< + (also string concat)
+Value value_sub(const Value& a, const Value& b);
+Value value_mul(const Value& a, const Value& b);
+Value value_div(const Value& a, const Value& b);
+Value value_mod(const Value& a, const Value& b);
+
+}  // namespace ocsp::csp

@@ -1,0 +1,231 @@
+#include "exec/threaded.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/check.h"
+
+namespace ocsp::exec {
+
+ThreadedRuntime::ThreadedRuntime(ThreadedOptions options)
+    : options_(options), rng_(options.seed) {
+  // Match spec::Runtime's seeding: it derives one stream for the network
+  // first, then one per process in registration order.
+  rng_.split();  // the simulator's network stream; unused here
+}
+
+ProcessId ThreadedRuntime::add_process(std::string name, csp::StmtPtr program,
+                                       csp::Env initial_env,
+                                       bool serves_forever) {
+  OCSP_CHECK_MSG(names_.count(name) == 0, "duplicate process name");
+  const ProcessId id = static_cast<ProcessId>(procs_.size());
+  auto proc = std::make_unique<Proc>();
+  proc->name = name;
+  // spec::Runtime hands each SpeculativeProcess a stream which is then
+  // split once more for the machine; mirror both splits.
+  util::Rng process_stream = rng_.split();
+  proc->machine = csp::Machine(std::move(program), std::move(initial_env),
+                               process_stream.split());
+  proc->serves_forever = serves_forever;
+  procs_.push_back(std::move(proc));
+  names_.emplace(std::move(name), id);
+  return id;
+}
+
+ProcessId ThreadedRuntime::find(const std::string& name) const {
+  auto it = names_.find(name);
+  OCSP_CHECK_MSG(it != names_.end(), "unknown process");
+  return it->second;
+}
+
+void ThreadedRuntime::deliver_request(ProcessId dst, Request request) {
+  Proc& p = *procs_.at(dst);
+  {
+    std::scoped_lock lock(p.mutex);
+    p.mailbox.push_back(std::move(request));
+  }
+  p.cv.notify_all();
+}
+
+void ThreadedRuntime::deliver_reply(ProcessId dst, csp::Value value) {
+  Proc& p = *procs_.at(dst);
+  {
+    std::scoped_lock lock(p.mutex);
+    OCSP_CHECK_MSG(!p.reply.has_value(), "reply slot already full");
+    p.reply = std::move(value);
+  }
+  p.cv.notify_all();
+}
+
+void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
+  Proc& self = *procs_.at(id);
+  // Pending right-branch machines of sequential forks, innermost last.
+  std::vector<csp::Machine> pending_rights;
+
+  auto record = [&](trace::ObservableEvent ev) {
+    std::scoped_lock lock(self.mutex);
+    self.events.push_back(std::move(ev));
+  };
+
+  while (!stop.stop_requested()) {
+    csp::Effect e = self.machine.step();
+    using K = csp::Effect::Kind;
+    switch (e.kind) {
+      case K::kCall: {
+        std::int64_t reqid;
+        {
+          std::scoped_lock lock(reqid_mutex_);
+          reqid = next_reqid_++;
+        }
+        const ProcessId dst = find(e.target);
+        trace::ObservableEvent ev;
+        ev.kind = trace::ObservableEvent::Kind::kSend;
+        ev.process = id;
+        ev.peer = dst;
+        ev.op = e.op;
+        ev.data = csp::Value(e.args);
+        record(std::move(ev));
+        deliver_request(dst, Request{e.op, e.args, id, reqid, true});
+        // Wait for the reply.
+        std::unique_lock lock(self.mutex);
+        self.cv.wait(lock, stop, [&] { return self.reply.has_value(); });
+        if (!self.reply.has_value()) return;  // stopped
+        csp::Value result = std::move(*self.reply);
+        self.reply.reset();
+        lock.unlock();
+        trace::ObservableEvent ret;
+        ret.kind = trace::ObservableEvent::Kind::kCallReturn;
+        ret.process = id;
+        ret.peer = dst;
+        ret.data = result;
+        record(std::move(ret));
+        self.machine.resume_with_value(std::move(result));
+        break;
+      }
+      case K::kSend: {
+        const ProcessId dst = find(e.target);
+        trace::ObservableEvent ev;
+        ev.kind = trace::ObservableEvent::Kind::kSend;
+        ev.process = id;
+        ev.peer = dst;
+        ev.op = e.op;
+        ev.data = csp::Value(e.args);
+        record(std::move(ev));
+        deliver_request(dst, Request{e.op, e.args, id, -1, false});
+        break;
+      }
+      case K::kReceive: {
+        std::unique_lock lock(self.mutex);
+        self.cv.wait(lock, stop, [&] { return !self.mailbox.empty(); });
+        if (self.mailbox.empty()) return;  // stopped
+        Request req = std::move(self.mailbox.front());
+        self.mailbox.pop_front();
+        lock.unlock();
+        trace::ObservableEvent ev;
+        ev.kind = trace::ObservableEvent::Kind::kReceive;
+        ev.process = id;
+        ev.peer = req.caller;
+        ev.op = req.op;
+        ev.data = csp::Value(req.args);
+        record(std::move(ev));
+        self.machine.deliver(req.op, req.args,
+                             static_cast<std::int64_t>(req.caller), req.reqid,
+                             req.is_call);
+        break;
+      }
+      case K::kReply:
+        deliver_reply(static_cast<ProcessId>(e.reply_caller),
+                      std::move(e.value));
+        break;
+      case K::kPrint: {
+        trace::ObservableEvent ev;
+        ev.kind = trace::ObservableEvent::Kind::kExternalOutput;
+        ev.process = id;
+        ev.data = std::move(e.value);
+        record(std::move(ev));
+        break;
+      }
+      case K::kCompute: {
+        if (options_.compute_scale > 0) {
+          std::this_thread::sleep_for(std::chrono::nanoseconds(
+              static_cast<std::int64_t>(static_cast<double>(e.duration) *
+                                        options_.compute_scale)));
+        } else {
+          std::this_thread::yield();
+        }
+        self.machine.resume();
+        break;
+      }
+      case K::kFork: {
+        // Pessimistic execution with the same RNG-splitting convention as
+        // the simulator: the right branch gets a stream split at the fork
+        // point, runs after the left completed, and adopts its state.
+        csp::Machine right = self.machine;
+        right.take_fork_branch(/*left=*/false);
+        right.rng() = self.machine.rng().split();
+        self.machine.take_fork_branch(/*left=*/true);
+        pending_rights.push_back(std::move(right));
+        break;
+      }
+      case K::kDone: {
+        if (!pending_rights.empty()) {
+          csp::Machine right = std::move(pending_rights.back());
+          pending_rights.pop_back();
+          right.env() = self.machine.env();
+          self.machine = std::move(right);
+          break;
+        }
+        std::scoped_lock lock(self.mutex);
+        self.completed = true;
+        return;
+      }
+    }
+  }
+}
+
+bool ThreadedRuntime::run(std::chrono::milliseconds timeout) {
+  std::vector<std::jthread> threads;
+  threads.reserve(procs_.size());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    threads.emplace_back([this, i](std::stop_token stop) {
+      run_process(stop, static_cast<ProcessId>(i));
+    });
+  }
+
+  // Wait until every non-server process completed (or timeout).
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  bool all_done = false;
+  while (!all_done && std::chrono::steady_clock::now() < deadline) {
+    all_done = true;
+    for (auto& p : procs_) {
+      if (p->serves_forever) continue;
+      std::scoped_lock lock(p->mutex);
+      if (!p->completed) {
+        all_done = false;
+        break;
+      }
+    }
+    if (!all_done) std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  for (auto& t : threads) t.request_stop();
+  for (auto& p : procs_) p->cv.notify_all();
+  // jthread joins on destruction.
+  threads.clear();
+  return all_done;
+}
+
+trace::CommittedTrace ThreadedRuntime::committed_trace() const {
+  trace::CommittedTrace out;
+  for (const auto& p : procs_) {
+    for (const auto& e : p->events) out.append(e);
+  }
+  return out;
+}
+
+bool ThreadedRuntime::completed(ProcessId id) const {
+  Proc& p = *procs_.at(id);
+  std::scoped_lock lock(p.mutex);
+  return p.completed;
+}
+
+}  // namespace ocsp::exec

@@ -1,0 +1,106 @@
+// ThreadedRuntime: run CSP programs on real OS threads.
+//
+// One std::jthread per process, mutex+condvar mailboxes, blocking calls —
+// the conventional implementation of the paper's *source* model ("a
+// feasible target environment is the Mach operating system").  It executes
+// pessimistically (forks run left-then-right), so it serves two purposes:
+//
+//   1. It validates the CSP substrate under true concurrency: the
+//      interpreter, service loops, and message plumbing run with real
+//      interleavings instead of the simulator's cooperative schedule.
+//   2. It is seeded identically to spec::Runtime, so for single-client
+//      workloads its committed trace must equal the simulated pessimistic
+//      trace exactly — a cross-executor oracle for the substrate.
+//
+// The speculation protocol itself stays on the deterministic simulator
+// (see DESIGN.md §2): wall-clock threads would add scheduling noise
+// without exercising any additional protocol path.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "csp/machine.h"
+#include "trace/events.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace ocsp::exec {
+
+struct ThreadedOptions {
+  std::uint64_t seed = 42;
+  /// Wall-clock nanoseconds slept per virtual nanosecond of Compute
+  /// statements (0 = yield only).
+  double compute_scale = 0.0;
+};
+
+class ThreadedRuntime {
+ public:
+  explicit ThreadedRuntime(ThreadedOptions options = {});
+
+  ThreadedRuntime(const ThreadedRuntime&) = delete;
+  ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
+
+  /// Register a process.  `serves_forever` marks server loops that never
+  /// terminate; run() stops them once every other process finished.
+  ProcessId add_process(std::string name, csp::StmtPtr program,
+                        csp::Env initial_env = {},
+                        bool serves_forever = false);
+
+  /// Run every process to completion on its own thread; returns when all
+  /// non-server processes finished (servers are stopped cooperatively).
+  /// Returns false if the run deadlocked against the timeout.
+  bool run(std::chrono::milliseconds timeout = std::chrono::seconds(30));
+
+  ProcessId find(const std::string& name) const;
+
+  /// Committed observable events, per process, in program order.
+  trace::CommittedTrace committed_trace() const;
+
+  /// True if the process's program ran to completion.
+  bool completed(ProcessId id) const;
+
+ private:
+  struct Request {
+    std::string op;
+    csp::ValueList args;
+    ProcessId caller = kNoProcess;
+    std::int64_t reqid = -1;
+    bool is_call = false;
+  };
+
+  struct Proc {
+    std::string name;
+    csp::Machine machine;
+    bool serves_forever = false;
+    bool completed = false;
+
+    std::mutex mutex;
+    std::condition_variable_any cv;
+    std::deque<Request> mailbox;
+    std::optional<csp::Value> reply;  ///< reply slot for the outstanding call
+
+    std::vector<trace::ObservableEvent> events;
+  };
+
+  void run_process(std::stop_token stop, ProcessId id);
+  void deliver_request(ProcessId dst, Request request);
+  void deliver_reply(ProcessId dst, csp::Value value);
+
+  ThreadedOptions options_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::map<std::string, ProcessId> names_;
+  std::int64_t next_reqid_ = 1;
+  std::mutex reqid_mutex_;
+};
+
+}  // namespace ocsp::exec

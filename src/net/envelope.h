@@ -1,0 +1,19 @@
+// Wire envelope: addressing metadata around an immutable payload.
+#pragma once
+
+#include "net/message.h"
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace ocsp::net {
+
+struct Envelope {
+  MsgId id = 0;
+  ProcessId src = kNoProcess;
+  ProcessId dst = kNoProcess;
+  sim::Time sent_at = 0;
+  sim::Time delivered_at = 0;
+  MessagePtr payload;
+};
+
+}  // namespace ocsp::net

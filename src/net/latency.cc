@@ -1,0 +1,44 @@
+#include "net/latency.h"
+
+#include "util/check.h"
+
+namespace ocsp::net {
+
+FixedLatency::FixedLatency(sim::Time delay) : delay_(delay) {
+  OCSP_CHECK(delay >= 0);
+}
+
+sim::Time FixedLatency::sample(util::Rng&) const { return delay_; }
+
+UniformLatency::UniformLatency(sim::Time lo, sim::Time hi) : lo_(lo), hi_(hi) {
+  OCSP_CHECK(0 <= lo && lo <= hi);
+}
+
+sim::Time UniformLatency::sample(util::Rng& rng) const {
+  return rng.uniform_int(lo_, hi_);
+}
+
+ExponentialLatency::ExponentialLatency(sim::Time base, sim::Time mean_extra)
+    : base_(base), mean_extra_(mean_extra) {
+  OCSP_CHECK(base >= 0);
+  OCSP_CHECK(mean_extra > 0);
+}
+
+sim::Time ExponentialLatency::sample(util::Rng& rng) const {
+  return base_ + static_cast<sim::Time>(
+                     rng.exponential(static_cast<double>(mean_extra_)));
+}
+
+LatencyModelPtr fixed_latency(sim::Time delay) {
+  return std::make_shared<FixedLatency>(delay);
+}
+
+LatencyModelPtr uniform_latency(sim::Time lo, sim::Time hi) {
+  return std::make_shared<UniformLatency>(lo, hi);
+}
+
+LatencyModelPtr exponential_latency(sim::Time base, sim::Time mean_extra) {
+  return std::make_shared<ExponentialLatency>(base, mean_extra);
+}
+
+}  // namespace ocsp::net

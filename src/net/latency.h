@@ -1,0 +1,62 @@
+// Link latency models.
+//
+// The protocol's behaviour (and the paper's figures) depend only on message
+// delays and orderings; these models let a benchmark dial in anything from
+// a backplane (1us fixed) to a WAN (50ms exponential with jitter).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace ocsp::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Propagation delay sample for one message (excludes bandwidth term).
+  virtual sim::Time sample(util::Rng& rng) const = 0;
+};
+
+using LatencyModelPtr = std::shared_ptr<const LatencyModel>;
+
+/// Constant delay.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(sim::Time delay);
+  sim::Time sample(util::Rng& rng) const override;
+
+ private:
+  sim::Time delay_;
+};
+
+/// Uniform in [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(sim::Time lo, sim::Time hi);
+  sim::Time sample(util::Rng& rng) const override;
+
+ private:
+  sim::Time lo_;
+  sim::Time hi_;
+};
+
+/// base + Exp(mean_extra): long-tailed WAN-like delays.
+class ExponentialLatency final : public LatencyModel {
+ public:
+  ExponentialLatency(sim::Time base, sim::Time mean_extra);
+  sim::Time sample(util::Rng& rng) const override;
+
+ private:
+  sim::Time base_;
+  sim::Time mean_extra_;
+};
+
+LatencyModelPtr fixed_latency(sim::Time delay);
+LatencyModelPtr uniform_latency(sim::Time lo, sim::Time hi);
+LatencyModelPtr exponential_latency(sim::Time base, sim::Time mean_extra);
+
+}  // namespace ocsp::net

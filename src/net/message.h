@@ -1,0 +1,31 @@
+// Base class for everything that travels over the simulated network.
+//
+// The network layer is payload-agnostic: the speculation layer defines the
+// concrete message types (data messages carrying commit-guard tags, control
+// messages carrying COMMIT/ABORT/PRECEDENCE).  Payloads are immutable and
+// shared, so "transmission" never copies message bodies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace ocsp::net {
+
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Short tag for tracing ("CALL", "RETURN", "COMMIT", ...).
+  virtual std::string kind() const = 0;
+
+  /// Approximate wire size, used for bandwidth-delay modelling.
+  virtual std::size_t wire_size() const { return 64; }
+
+  /// Human-readable rendering for traces and debug logs.
+  virtual std::string describe() const { return kind(); }
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace ocsp::net

@@ -1,0 +1,85 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ocsp::net {
+
+Network::Network(sim::Scheduler& sched, util::Rng rng)
+    : sched_(sched), rng_(rng) {}
+
+void Network::register_endpoint(ProcessId id, Handler handler) {
+  OCSP_CHECK(handler != nullptr);
+  endpoints_[id] = std::move(handler);
+}
+
+void Network::set_default_link(LinkConfig config) {
+  OCSP_CHECK(config.latency != nullptr);
+  default_link_ = std::move(config);
+}
+
+void Network::set_link(ProcessId src, ProcessId dst, LinkConfig config) {
+  OCSP_CHECK(config.latency != nullptr);
+  links_[{src, dst}] = std::move(config);
+}
+
+const LinkConfig& Network::link_for(ProcessId src, ProcessId dst) const {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
+  OCSP_CHECK(payload != nullptr);
+  const MsgId id = next_msg_id_++;
+  const LinkConfig& link = link_for(src, dst);
+
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload->wire_size();
+
+  if (link.drop_probability > 0.0 &&
+      (!link.drop_filter || link.drop_filter(*payload)) &&
+      rng_.bernoulli(link.drop_probability)) {
+    ++stats_.messages_dropped;
+    OCSP_DLOG << "net: drop #" << id << " " << payload->kind() << " " << src
+              << "->" << dst;
+    return id;
+  }
+
+  sim::Time delay = link.latency->sample(rng_);
+  if (link.bandwidth_bytes_per_sec > 0) {
+    const double serialize =
+        static_cast<double>(payload->wire_size()) /
+        static_cast<double>(link.bandwidth_bytes_per_sec) * 1e9;
+    delay += static_cast<sim::Time>(serialize);
+  }
+
+  sim::Time deliver_at = sched_.now() + delay;
+  if (link.fifo) {
+    auto& horizon = fifo_horizon_[{src, dst}];
+    deliver_at = std::max(deliver_at, horizon);
+    horizon = deliver_at;
+  }
+
+  Envelope env;
+  env.id = id;
+  env.src = src;
+  env.dst = dst;
+  env.sent_at = sched_.now();
+  env.delivered_at = deliver_at;
+  env.payload = std::move(payload);
+
+  sched_.at(deliver_at, [this, env]() {
+    auto it = endpoints_.find(env.dst);
+    OCSP_CHECK_MSG(it != endpoints_.end(), "delivery to unknown endpoint");
+    ++stats_.messages_delivered;
+    OCSP_DLOG << "net: deliver #" << env.id << " " << env.payload->kind()
+              << " " << env.src << "->" << env.dst << " @" << env.delivered_at;
+    it->second(env);
+    if (tracer_) tracer_(env);
+  });
+  return id;
+}
+
+}  // namespace ocsp::net

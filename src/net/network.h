@@ -1,0 +1,90 @@
+// Simulated network: routes envelopes between registered endpoints through
+// per-pair links with configurable latency, bandwidth, ordering, and loss.
+//
+// Figure 4 of the paper (a time fault) requires a network where X's direct
+// call to Z can overtake the Y->Z call it logically follows; setting
+// fifo=false on a link (or giving pairs different latencies) reproduces
+// exactly that.  Loss is used to exercise the control-broadcast liveness
+// argument of section 4.2.5.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/envelope.h"
+#include "net/latency.h"
+#include "sim/scheduler.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace ocsp::net {
+
+struct LinkConfig {
+  LatencyModelPtr latency = fixed_latency(sim::microseconds(10));
+  /// Bytes per virtual second; 0 disables the bandwidth term.
+  std::uint64_t bandwidth_bytes_per_sec = 0;
+  /// Deliver messages on this link in send order.
+  bool fifo = true;
+  /// Probability a message is silently dropped (senders needing liveness
+  /// must retry; used only for control-plane loss experiments).
+  double drop_probability = 0.0;
+
+  /// When set, only messages matching the filter are subject to loss; the
+  /// liveness experiments drop COMMIT/ABORT/PRECEDENCE while leaving data
+  /// messages reliable (the paper assumes reliable data transport and only
+  /// requires the control broadcast to be retried, section 4.2.5).
+  std::function<bool(const Message&)> drop_filter;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Envelope&)>;
+  /// Trace hook observing every delivery (after the handler ran).
+  using Tracer = std::function<void(const Envelope&)>;
+
+  Network(sim::Scheduler& sched, util::Rng rng);
+
+  /// Register the receive handler for a process.  Re-registration replaces
+  /// the previous handler (used when a process restarts).
+  void register_endpoint(ProcessId id, Handler handler);
+
+  /// Default link used for pairs without an override.
+  void set_default_link(LinkConfig config);
+
+  /// Override the link for the ordered pair (src, dst).
+  void set_link(ProcessId src, ProcessId dst, LinkConfig config);
+
+  /// Queue a message for delivery.  Returns the assigned message id.
+  MsgId send(ProcessId src, ProcessId dst, MessagePtr payload);
+
+  void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
+
+  const NetworkStats& stats() const { return stats_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+ private:
+  const LinkConfig& link_for(ProcessId src, ProcessId dst) const;
+
+  sim::Scheduler& sched_;
+  util::Rng rng_;
+  LinkConfig default_link_;
+  std::map<std::pair<ProcessId, ProcessId>, LinkConfig> links_;
+  std::map<ProcessId, Handler> endpoints_;
+  /// Earliest permissible delivery time per ordered pair (FIFO enforcement).
+  std::map<std::pair<ProcessId, ProcessId>, sim::Time> fifo_horizon_;
+  Tracer tracer_;
+  NetworkStats stats_;
+  MsgId next_msg_id_ = 1;
+};
+
+}  // namespace ocsp::net

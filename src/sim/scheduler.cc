@@ -1,0 +1,68 @@
+#include "sim/scheduler.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace ocsp::sim {
+
+Scheduler::Handle Scheduler::at(Time t, Callback cb) {
+  OCSP_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq, std::move(cb)});
+  pending_seqs_.insert(seq);
+  return Handle{seq};
+}
+
+Scheduler::Handle Scheduler::after(Time delay, Callback cb) {
+  OCSP_CHECK(delay >= 0);
+  return at(now_ + delay, std::move(cb));
+}
+
+bool Scheduler::cancel(Handle h) {
+  if (!h.valid()) return false;
+  // Entries stay in the heap; removal from pending_seqs_ makes pop skip them.
+  return pending_seqs_.erase(h.seq) > 0;
+}
+
+void Scheduler::drop_cancelled_top() {
+  while (!queue_.empty() && pending_seqs_.count(queue_.top().seq) == 0) {
+    queue_.pop();
+  }
+}
+
+bool Scheduler::pop_and_fire() {
+  drop_cancelled_top();
+  if (queue_.empty()) return false;
+  Entry top = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  OCSP_CHECK(top.when >= now_);
+  now_ = top.when;
+  pending_seqs_.erase(top.seq);
+  ++fired_count_;
+  top.cb();
+  return true;
+}
+
+bool Scheduler::step() { return pop_and_fire(); }
+
+std::size_t Scheduler::run() {
+  std::size_t fired = 0;
+  while (pop_and_fire()) ++fired;
+  return fired;
+}
+
+std::size_t Scheduler::run_until(Time deadline) {
+  OCSP_CHECK(deadline >= now_);
+  std::size_t fired = 0;
+  for (;;) {
+    drop_cancelled_top();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    pop_and_fire();
+    ++fired;
+  }
+  now_ = deadline;
+  return fired;
+}
+
+}  // namespace ocsp::sim

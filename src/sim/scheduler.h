@@ -1,0 +1,77 @@
+// Deterministic discrete-event scheduler.
+//
+// Events scheduled for the same virtual time fire in insertion order
+// (FIFO tie-break on a monotonically increasing sequence number), making
+// every simulation a pure function of its inputs.  Cancellation is lazy:
+// cancelled events stay in the heap but are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ocsp::sim {
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Token identifying a scheduled event, usable for cancellation.
+  struct Handle {
+    std::uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  /// Schedule `cb` at absolute virtual time `t` (>= now()).
+  Handle at(Time t, Callback cb);
+
+  /// Schedule `cb` `delay` after now().
+  Handle after(Time delay, Callback cb);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(Handle h);
+
+  /// Run the earliest pending event.  Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains.  Returns the number of events fired.
+  std::size_t run();
+
+  /// Run events with firing time <= `deadline`; the clock advances to
+  /// `deadline` afterwards even if the queue drained early.
+  std::size_t run_until(Time deadline);
+
+  Time now() const { return now_; }
+  bool empty() const { return pending_seqs_.empty(); }
+  std::size_t pending() const { return pending_seqs_.size(); }
+  std::uint64_t fired_count() const { return fired_count_; }
+
+ private:
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_fire();
+  void drop_cancelled_top();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_count_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> pending_seqs_;
+};
+
+}  // namespace ocsp::sim

@@ -1,0 +1,26 @@
+// Virtual time for the discrete-event kernel.
+//
+// All protocol latencies (network delay, service time, speculation timeouts)
+// are expressed in virtual nanoseconds.  Using integer ticks keeps event
+// ordering exact and runs bit-identical across platforms.
+#pragma once
+
+#include <cstdint>
+
+namespace ocsp::sim {
+
+/// Virtual time in nanoseconds since simulation start.
+using Time = std::int64_t;
+
+inline constexpr Time kTimeNever = INT64_MAX;
+
+constexpr Time nanoseconds(std::int64_t n) { return n; }
+constexpr Time microseconds(std::int64_t us) { return us * 1000; }
+constexpr Time milliseconds(std::int64_t ms) { return ms * 1000 * 1000; }
+constexpr Time seconds(std::int64_t s) { return s * 1000 * 1000 * 1000; }
+
+constexpr double to_micros(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_millis(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace ocsp::sim

@@ -1,0 +1,101 @@
+#include "speculation/cdg.h"
+
+#include <sstream>
+
+namespace ocsp::spec {
+
+bool Cdg::has_node(const GuessId& g) const { return out_.count(g) > 0; }
+
+void Cdg::add_node(const GuessId& g) { out_[g]; }
+
+void Cdg::remove_node(const GuessId& g) {
+  out_.erase(g);
+  for (auto& [node, succs] : out_) succs.erase(g);
+}
+
+bool Cdg::has_edge(const GuessId& from, const GuessId& to) const {
+  auto it = out_.find(from);
+  return it != out_.end() && it->second.contains(to);
+}
+
+std::vector<GuessId> Cdg::add_edge(const GuessId& from, const GuessId& to) {
+  add_node(from);
+  add_node(to);
+  out_[from].insert(to);
+  if (from == to) return {from};
+  // A new cycle through (from -> to) exists iff `from` is reachable from
+  // `to`.
+  std::vector<GuessId> path;
+  util::FlatSet<GuessId> visited;
+  if (find_path(to, from, path, visited)) {
+    // path = to ... from; the cycle is exactly these nodes.
+    return path;
+  }
+  return {};
+}
+
+bool Cdg::find_path(const GuessId& from, const GuessId& target,
+                    std::vector<GuessId>& path,
+                    util::FlatSet<GuessId>& visited) const {
+  if (!visited.insert(from)) return false;
+  path.push_back(from);
+  if (from == target) return true;
+  auto it = out_.find(from);
+  if (it != out_.end()) {
+    for (const auto& next : it->second) {
+      if (find_path(next, target, path, visited)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+std::vector<GuessId> Cdg::predecessors(const GuessId& g) const {
+  std::vector<GuessId> out;
+  for (const auto& [node, succs] : out_) {
+    if (succs.contains(g)) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<GuessId> Cdg::closure_from(const GuessId& g) const {
+  std::vector<GuessId> result;
+  if (!has_node(g)) return result;
+  util::FlatSet<GuessId> visited;
+  std::vector<GuessId> work{g};
+  while (!work.empty()) {
+    GuessId cur = work.back();
+    work.pop_back();
+    if (!visited.insert(cur)) continue;
+    result.push_back(cur);
+    auto it = out_.find(cur);
+    if (it != out_.end()) {
+      for (const auto& next : it->second) work.push_back(next);
+    }
+  }
+  return result;
+}
+
+std::size_t Cdg::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [node, succs] : out_) n += succs.size();
+  return n;
+}
+
+std::vector<GuessId> Cdg::nodes() const {
+  std::vector<GuessId> out;
+  for (const auto& [node, succs] : out_) out.push_back(node);
+  return out;
+}
+
+std::string Cdg::to_string() const {
+  std::ostringstream os;
+  for (const auto& [node, succs] : out_) {
+    os << node.to_string() << " ->";
+    for (const auto& s : succs) os << " " << s.to_string();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ocsp::spec

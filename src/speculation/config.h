@@ -1,0 +1,66 @@
+// Runtime configuration of the speculation machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace ocsp::spec {
+
+/// How a process restores state on rollback (section 4.1.3 — "the
+/// particular technique used for rollback is a performance tuning decision
+/// and does not affect the correctness of the transformation").
+enum class RollbackStrategy {
+  /// Time Warp style: checkpoint the whole thread state before every new
+  /// dependency acquisition; rollback = restore the snapshot.
+  kCheckpointEveryInterval,
+  /// Optimistic Recovery style: checkpoint only at thread start, log input
+  /// messages, and roll back by replaying inputs from the thread start.
+  kReplayFromLog,
+};
+
+/// How COMMIT/ABORT control messages are distributed (section 4.2.5).
+enum class ControlPlane {
+  /// Broadcast to every process ("should work well in a LAN where threads
+  /// are created relatively infrequently").
+  kBroadcast,
+  /// Send only to processes known to depend on the guess, recorded during
+  /// message send processing ("more appropriate in a WAN or when the number
+  /// of threads created is large").
+  kTargeted,
+};
+
+struct SpecConfig {
+  /// Master switch: false executes every fork sequentially, giving the
+  /// pessimistic baseline with identical program semantics.
+  bool speculation_enabled = true;
+
+  /// Left-thread timeout guarding against S1 divergence (section 3.3).
+  sim::Time fork_timeout = sim::milliseconds(1000);
+
+  /// How long a join may wait on PRECEDENCE resolution before the process
+  /// unilaterally aborts its guess (keeps runs live under message loss).
+  sim::Time join_wait_timeout = sim::milliseconds(4000);
+
+  /// Liveness limit L (section 3.3): after this many aborts of the same
+  /// fork site, the site executes pessimistically.
+  int retry_limit = 8;
+
+  RollbackStrategy rollback = RollbackStrategy::kCheckpointEveryInterval;
+
+  /// Replay strategy only: take a full checkpoint every N dependency-
+  /// introducing acceptances ("less frequent checkpoints" — the classic
+  /// Optimistic Recovery recipe).  Bounds both replay length and the
+  /// retained input log.
+  int replay_checkpoint_every = 32;
+
+  ControlPlane control = ControlPlane::kBroadcast;
+
+  /// Re-send unacknowledged control messages (needed only on lossy links;
+  /// section 4.2.5's "repeated broadcasts" liveness requirement).
+  bool control_retry = false;
+  sim::Time control_retry_interval = sim::milliseconds(20);
+  int control_retry_limit = 25;
+};
+
+}  // namespace ocsp::spec

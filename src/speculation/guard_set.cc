@@ -1,0 +1,100 @@
+#include "speculation/guard_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ocsp::spec {
+
+namespace {
+/// Later guesses by the same owner subsume earlier ones (section 4.1.5).
+bool subsumes(const GuessId& a, const GuessId& b) {
+  return a.owner == b.owner &&
+         std::pair(a.incarnation, a.index) >= std::pair(b.incarnation, b.index);
+}
+}  // namespace
+
+bool GuardSet::add(const GuessId& g) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), g,
+      [](const GuessId& a, const GuessId& b) { return a.owner < b.owner; });
+  if (it != items_.end() && it->owner == g.owner) {
+    if (subsumes(*it, g)) return false;  // existing entry is newer
+    *it = g;
+    return true;
+  }
+  items_.insert(it, g);
+  return true;
+}
+
+bool GuardSet::merge(const GuardSet& other) {
+  bool changed = false;
+  for (const auto& g : other.items_) changed |= add(g);
+  return changed;
+}
+
+bool GuardSet::contains(const GuessId& g) const {
+  const GuessId mine = for_owner(g.owner);
+  return mine.valid() && mine == g;
+}
+
+bool GuardSet::covers(const GuessId& g) const {
+  const GuessId mine = for_owner(g.owner);
+  return mine.valid() && subsumes(mine, g);
+}
+
+bool GuardSet::contains_owner(ProcessId owner) const {
+  return for_owner(owner).valid();
+}
+
+GuessId GuardSet::for_owner(ProcessId owner) const {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), owner,
+      [](const GuessId& a, ProcessId o) { return a.owner < o; });
+  if (it != items_.end() && it->owner == owner) return *it;
+  return GuessId{};
+}
+
+bool GuardSet::erase(const GuessId& g) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), g,
+      [](const GuessId& a, const GuessId& b) { return a.owner < b.owner; });
+  if (it != items_.end() && *it == g) {
+    items_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool GuardSet::erase_owner(ProcessId owner) {
+  auto it = std::lower_bound(
+      items_.begin(), items_.end(), owner,
+      [](const GuessId& a, ProcessId o) { return a.owner < o; });
+  if (it != items_.end() && it->owner == owner) {
+    items_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<GuessId> GuardSet::minus(const GuardSet& other) const {
+  std::vector<GuessId> out;
+  for (const auto& g : items_) {
+    if (!other.covers(g)) out.push_back(g);
+  }
+  return out;
+}
+
+std::string GuardSet::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& g : items_) {
+    if (!first) os << ", ";
+    first = false;
+    os << g.to_string();
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ocsp::spec

@@ -1,0 +1,69 @@
+// Commit guard sets (sections 3.1 and 4.1.2).
+//
+// A guard set carries the uncommitted guesses a computation depends on.
+// Following section 4.1.5's optimization, at most one guess per owning
+// process is stored: a dependence on x_5 subsumes a dependence on x_3
+// because same-incarnation thread indexes are totally ordered, and the
+// incarnation start table (history.h) resolves the cross-incarnation cases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "speculation/guess.h"
+
+namespace ocsp::spec {
+
+class GuardSet {
+ public:
+  GuardSet() = default;
+  GuardSet(std::initializer_list<GuessId> init) {
+    for (const auto& g : init) add(g);
+  }
+
+  /// Insert a dependency.  If a guess by the same owner is present, the
+  /// later one (higher incarnation, then higher index) wins.  Returns true
+  /// if the set changed.
+  bool add(const GuessId& g);
+
+  /// Union with another guard set under the same subsumption rule.
+  /// Returns true if this set changed.
+  bool merge(const GuardSet& other);
+
+  /// Exact-member test.
+  bool contains(const GuessId& g) const;
+
+  /// Is `g` covered by this set, i.e. would add(g) be a no-op?  True when
+  /// the set holds a guess by the same owner that subsumes g.
+  bool covers(const GuessId& g) const;
+
+  bool contains_owner(ProcessId owner) const;
+
+  /// The stored guess for `owner`, or an invalid GuessId.
+  GuessId for_owner(ProcessId owner) const;
+
+  /// Remove an exact member.  Returns true if removed.
+  bool erase(const GuessId& g);
+  bool erase_owner(ProcessId owner);
+
+  /// Members of this set that are not covered by `other` — the Newguards
+  /// computation of section 4.2.3.
+  std::vector<GuessId> minus(const GuardSet& other) const;
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  void clear() { items_.clear(); }
+
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  friend bool operator==(const GuardSet&, const GuardSet&) = default;
+
+  std::string to_string() const;
+
+ private:
+  // Sorted by owner; at most one entry per owner.
+  std::vector<GuessId> items_;
+};
+
+}  // namespace ocsp::spec

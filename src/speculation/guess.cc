@@ -1,0 +1,19 @@
+#include "speculation/guess.h"
+
+#include <sstream>
+
+namespace ocsp::spec {
+
+std::string GuessId::to_string() const {
+  std::ostringstream os;
+  os << "g(P" << owner << "." << incarnation << "." << index << ")";
+  return os.str();
+}
+
+std::string StateIndex::to_string() const {
+  std::ostringstream os;
+  os << "(" << incarnation << "," << thread << "," << interval << ")";
+  return os.str();
+}
+
+}  // namespace ocsp::spec

@@ -1,0 +1,45 @@
+// Guess identifiers and state indexes (sections 4.1.1-4.1.2).
+//
+// A guess x_n names the optimistic predicate created by the n-th fork of a
+// process: "the left thread of fork n will complete with no value fault and
+// no time fault".  Guesses are (incarnation, index) pairs per owner; the
+// incarnation number increments each time the process aborts one of its own
+// threads, so a stale guess from a dead incarnation can be recognized (and
+// implicitly aborted) without ever receiving an explicit ABORT for it.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/ids.h"
+
+namespace ocsp::spec {
+
+struct GuessId {
+  ProcessId owner = kNoProcess;
+  std::uint32_t incarnation = 0;
+  std::uint32_t index = 0;  ///< thread index n of the fork's right thread
+
+  auto operator<=>(const GuessId&) const = default;
+
+  bool valid() const { return owner != kNoProcess; }
+
+  /// Rendered like the paper: "x3" with owner/incarnation detail.
+  std::string to_string() const;
+};
+
+/// State index (section 4.1.1) extended with the incarnation so checkpoint
+/// keys stay unambiguous across aborts of the process's own threads.
+/// Lexicographic order matches logical time within a process.
+struct StateIndex {
+  std::uint32_t incarnation = 0;
+  std::uint32_t thread = 0;
+  std::uint32_t interval = 0;
+
+  auto operator<=>(const StateIndex&) const = default;
+
+  std::string to_string() const;
+};
+
+}  // namespace ocsp::spec

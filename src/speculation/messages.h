@@ -1,0 +1,47 @@
+// Wire messages of the speculation protocol.
+//
+// Data messages (calls, one-way sends, returns) carry the sender's commit
+// guard set as a tag (section 3.1: "Each message carries with it a tag
+// containing the commit guard set of the computation which sent it").
+// Control messages implement section 4.2.5: COMMIT, ABORT, PRECEDENCE.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "csp/value.h"
+#include "net/message.h"
+#include "speculation/guard_set.h"
+
+namespace ocsp::spec {
+
+enum class DataKind { kCall, kSend, kReturn };
+
+class DataMessage final : public net::Message {
+ public:
+  DataKind data_kind = DataKind::kSend;
+  std::string op;        ///< operation (Call/Send)
+  csp::ValueList args;   ///< arguments (Call/Send)
+  csp::Value result;     ///< reply value (Return)
+  std::int64_t reqid = -1;  ///< matches a Return to its Call
+  GuardSet guard;           ///< commit guard tag
+
+  std::string kind() const override;
+  std::size_t wire_size() const override;
+  std::string describe() const override;
+};
+
+enum class ControlKind { kCommit, kAbort, kPrecedence };
+
+class ControlMessage final : public net::Message {
+ public:
+  ControlKind control = ControlKind::kCommit;
+  GuessId subject;  ///< the guess being committed/aborted/constrained
+  GuardSet guard;   ///< PRECEDENCE only: the guesses preceding `subject`
+
+  std::string kind() const override;
+  std::size_t wire_size() const override;
+  std::string describe() const override;
+};
+
+}  // namespace ocsp::spec

@@ -1,0 +1,37 @@
+#include "speculation/predictor.h"
+
+#include "util/check.h"
+
+namespace ocsp::spec {
+
+csp::Value PredictorState::guess(const std::string& site,
+                                 const std::string& variable,
+                                 const csp::PredictorSpec& spec,
+                                 const csp::Env& fork_env) const {
+  using Kind = csp::PredictorSpec::Kind;
+  switch (spec.kind) {
+    case Kind::kConstant:
+      return spec.constant;
+    case Kind::kExpr:
+      OCSP_CHECK(spec.expr != nullptr);
+      return spec.expr->eval(fork_env);
+    case Kind::kLastCommitted: {
+      auto it = last_actual_.find({site, variable});
+      return it == last_actual_.end() ? spec.constant : it->second;
+    }
+    case Kind::kStride: {
+      auto it = last_actual_.find({site, variable});
+      if (it == last_actual_.end()) return spec.constant;
+      return csp::Value(it->second.as_int() + spec.stride);
+    }
+  }
+  return csp::Value();
+}
+
+void PredictorState::observe(const std::string& site,
+                             const std::string& variable,
+                             const csp::Value& actual) {
+  last_actual_[{site, variable}] = actual;
+}
+
+}  // namespace ocsp::spec

@@ -1,0 +1,37 @@
+// Value predictors for fork guesses.
+//
+// Section 3.2: the guessed values {b_i} for the passed variables {v_i} come
+// from a compiler-determined predictor function applied to the fork-point
+// state.  PredictorState additionally implements the history-based kinds
+// (last-committed, stride), which need a per-site cache of actual values
+// observed at successful joins.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "csp/env.h"
+#include "csp/program.h"
+
+namespace ocsp::spec {
+
+class PredictorState {
+ public:
+  /// Guess the value of `variable` at fork site `site` given the fork-point
+  /// environment.
+  csp::Value guess(const std::string& site, const std::string& variable,
+                   const csp::PredictorSpec& spec,
+                   const csp::Env& fork_env) const;
+
+  /// Feed back the actual value observed when the left thread completed.
+  /// Called at every join (commit or value fault) so the next instance of
+  /// the site predicts from fresh history.
+  void observe(const std::string& site, const std::string& variable,
+               const csp::Value& actual);
+
+ private:
+  // (site, variable) -> last actual value seen
+  std::map<std::pair<std::string, std::string>, csp::Value> last_actual_;
+};
+
+}  // namespace ocsp::spec

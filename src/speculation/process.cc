@@ -1,0 +1,286 @@
+// Core of SpeculativeProcess: construction, cooperative scheduling, effect
+// handling, message sending, logs, and completion tracking.  Fork/join live
+// in process_fork.cc, arrival/delivery in process_arrival.cc, and control
+// message processing plus rollback in process_control.cc.
+#include "speculation/process.h"
+
+#include <algorithm>
+
+#include "speculation/runtime.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ocsp::spec {
+
+SpeculativeProcess::SpeculativeProcess(Runtime& runtime, ProcessId id,
+                                       std::string name, csp::StmtPtr program,
+                                       csp::Env initial_env, SpecConfig config,
+                                       util::Rng rng)
+    : runtime_(runtime),
+      id_(id),
+      name_(std::move(name)),
+      config_(config),
+      rng_(rng) {
+  ThreadCtx t;
+  t.index = 0;
+  t.machine = csp::Machine(std::move(program), std::move(initial_env),
+                           rng_.split());
+  t.created_at = StateIndex{0, 0, 0};
+  threads_.emplace(0u, std::move(t));
+}
+
+void SpeculativeProcess::start() {
+  ThreadCtx& t0 = threads_.at(0);
+  take_checkpoint(t0);
+  // Move past the checkpoint's interval so no acceptance rollback point can
+  // collide with the creation checkpoint key (the two restore paths differ:
+  // a full-checkpoint key restores verbatim, an acceptance key may rebuild
+  // by replay).
+  ++t0.interval;
+  schedule_step(0);
+}
+
+trace::Timeline& SpeculativeProcess::timeline() { return runtime_.timeline(); }
+
+ProcessId SpeculativeProcess::resolve(const std::string& target) const {
+  return runtime_.find(target);
+}
+
+StateIndex SpeculativeProcess::current_index(const ThreadCtx& t) const {
+  return StateIndex{incarnation_, t.index, t.interval};
+}
+
+std::size_t SpeculativeProcess::live_thread_count() const {
+  std::size_t n = 0;
+  for (const auto& [idx, t] : threads_) {
+    if (t.phase != ThreadCtx::Phase::kTerminated) ++n;
+  }
+  return n;
+}
+
+const ThreadCtx* SpeculativeProcess::thread(std::uint32_t index) const {
+  auto it = threads_.find(index);
+  return it == threads_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+void SpeculativeProcess::schedule_step(std::uint32_t thread_index) {
+  if (step_scheduled_[thread_index]) return;
+  step_scheduled_[thread_index] = true;
+  runtime_.scheduler().after(0, [this, thread_index]() {
+    step_scheduled_[thread_index] = false;
+    run_thread(thread_index);
+  });
+}
+
+void SpeculativeProcess::run_thread(std::uint32_t thread_index) {
+  auto it = threads_.find(thread_index);
+  if (it == threads_.end()) return;  // killed before the step fired
+  if (it->second.phase != ThreadCtx::Phase::kRunning) return;
+  OCSP_CHECK_MSG(!stepping_, "re-entrant run_thread");
+  stepping_ = true;
+  bool keep_going = true;
+  while (keep_going) {
+    // Re-look-up: effects (fork, join, rollback) mutate threads_.
+    auto cur = threads_.find(thread_index);
+    if (cur == threads_.end() ||
+        cur->second.phase != ThreadCtx::Phase::kRunning) {
+      break;
+    }
+    csp::Effect effect = cur->second.machine.step();
+    keep_going = handle_effect(cur->second, std::move(effect));
+  }
+  stepping_ = false;
+}
+
+bool SpeculativeProcess::handle_effect(ThreadCtx& t, csp::Effect effect) {
+  using K = csp::Effect::Kind;
+  switch (effect.kind) {
+    case K::kCall: {
+      const std::int64_t reqid = next_reqid_++;
+      t.outstanding_reqid = reqid;
+      t.phase = ThreadCtx::Phase::kAwaitReply;
+      outstanding_calls_[reqid] = t.index;
+      trace::ObservableEvent ev;
+      ev.kind = trace::ObservableEvent::Kind::kSend;
+      ev.process = id_;
+      ev.peer = resolve(effect.target);
+      ev.op = effect.op;
+      ev.data = csp::Value(effect.args);
+      record_event(t, std::move(ev));
+      send_data(t, DataKind::kCall, effect.target, std::move(effect.op),
+                std::move(effect.args), csp::Value(), reqid);
+      return false;
+    }
+    case K::kSend: {
+      trace::ObservableEvent ev;
+      ev.kind = trace::ObservableEvent::Kind::kSend;
+      ev.process = id_;
+      ev.peer = resolve(effect.target);
+      ev.op = effect.op;
+      ev.data = csp::Value(effect.args);
+      record_event(t, std::move(ev));
+      send_data(t, DataKind::kSend, effect.target, std::move(effect.op),
+                std::move(effect.args), csp::Value(), -1);
+      return true;
+    }
+    case K::kReceive: {
+      t.phase = ThreadCtx::Phase::kAwaitMessage;
+      process_arrivals();
+      return false;
+    }
+    case K::kReply: {
+      send_data(t, DataKind::kReturn, "",
+                /*op=*/"", {}, std::move(effect.value), effect.reply_reqid);
+      return true;
+    }
+    case K::kPrint: {
+      trace::ObservableEvent ev;
+      ev.kind = trace::ObservableEvent::Kind::kExternalOutput;
+      ev.process = id_;
+      ev.data = effect.value;
+      if (!t.guard.empty()) ++stats_.externals_buffered;
+      record_event(t, std::move(ev));
+      return true;
+    }
+    case K::kCompute: {
+      t.phase = ThreadCtx::Phase::kAwaitCompute;
+      const std::uint32_t idx = t.index;
+      compute_timers_[idx] =
+          runtime_.scheduler().after(effect.duration, [this, idx]() {
+            auto it = threads_.find(idx);
+            if (it == threads_.end()) return;
+            ThreadCtx& th = it->second;
+            if (th.phase != ThreadCtx::Phase::kAwaitCompute) return;
+            th.machine.resume();
+            th.phase = ThreadCtx::Phase::kRunning;
+            schedule_step(idx);
+          });
+      return false;
+    }
+    case K::kFork: {
+      do_fork(t, *effect.fork);
+      return true;
+    }
+    case K::kDone: {
+      if (t.has_pending_join) {
+        do_join(t);
+      } else {
+        t.phase = ThreadCtx::Phase::kDoneWaitGuard;
+        after_guard_change();
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Sending (section 4.2.2: tag every outgoing message with the guard set)
+// ---------------------------------------------------------------------------
+
+void SpeculativeProcess::send_data(ThreadCtx& t, DataKind kind,
+                                   const std::string& target_name,
+                                   std::string op, csp::ValueList args,
+                                   csp::Value result, std::int64_t reqid) {
+  ++t.sent_count;
+  if (replaying_) {
+    // Deterministic replay re-produces sends that already went out on the
+    // first execution; suppress them (section 4.1.3's log-based rollback).
+    return;
+  }
+  auto msg = std::make_shared<DataMessage>();
+  msg->data_kind = kind;
+  msg->op = std::move(op);
+  msg->args = std::move(args);
+  msg->result = std::move(result);
+  msg->reqid = reqid;
+  msg->guard = t.guard;
+
+  ProcessId dst;
+  if (kind == DataKind::kReturn) {
+    dst = static_cast<ProcessId>(t.machine.env().get("__caller").as_int());
+  } else {
+    dst = resolve(target_name);
+  }
+
+  // Record recipients per guess for the targeted control plane (4.2.5).
+  if (config_.control == ControlPlane::kTargeted) {
+    for (const auto& g : t.guard) {
+      auto& v = spread_[g];
+      if (std::find(v.begin(), v.end(), dst) == v.end()) v.push_back(dst);
+    }
+  }
+
+  timeline().record({trace::TimelineEntry::Kind::kMsgSend,
+                     runtime_.scheduler().now(), id_, dst, msg->describe()});
+  runtime_.network().send(id_, dst, std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// Logs, externals, completion
+// ---------------------------------------------------------------------------
+
+void SpeculativeProcess::record_event(ThreadCtx& t,
+                                      trace::ObservableEvent event) {
+  t.event_log.push_back(std::move(event));
+  // Committed immediately when nothing speculative guards this thread.
+  // During replay the flush point is restored from ReplayMeta afterwards.
+  if (t.guard.empty() && !replaying_) flush_events(t);
+}
+
+void SpeculativeProcess::flush_events(ThreadCtx& t) {
+  while (t.flushed_count < t.event_log.size()) {
+    const trace::ObservableEvent& e = t.event_log[t.flushed_count];
+    committed_log_.push_back(e);
+    if (e.kind == trace::ObservableEvent::Kind::kExternalOutput) {
+      // Flushing commits the event; external outputs are released to the
+      // outside world at this moment (section 3.1's buffering rule).
+      ++stats_.externals_released;
+      timeline().record({trace::TimelineEntry::Kind::kExternalRelease,
+                         runtime_.scheduler().now(), id_, kNoProcess,
+                         e.data.to_string()});
+    }
+    ++t.flushed_count;
+  }
+}
+
+void SpeculativeProcess::flush_logs() {
+  // Ascending thread order preserves the program order of the final trace
+  // (thread n's events all precede thread n+1's: x_{n+1} commits only after
+  // thread n terminated with an empty guard).
+  for (auto& [idx, t] : threads_) {
+    if (!t.guard.empty()) continue;
+    flush_events(t);
+  }
+}
+
+void SpeculativeProcess::check_completion() {
+  if (completed_) return;
+  bool program_done = false;
+  for (auto& [idx, t] : threads_) {
+    if (t.phase == ThreadCtx::Phase::kDoneWaitGuard && t.guard.empty()) {
+      t.phase = ThreadCtx::Phase::kTerminated;
+      program_done = true;
+    }
+  }
+  if (!program_done) return;
+  // The program finished; every other thread must already be terminated
+  // (their join guesses committed, which is what emptied our guard).
+  for (const auto& [idx, t] : threads_) {
+    if (t.phase != ThreadCtx::Phase::kTerminated) return;
+  }
+  completed_ = true;
+  completion_time_ = runtime_.scheduler().now();
+  timeline().note(completion_time_, id_, "process completed");
+}
+
+void SpeculativeProcess::take_checkpoint(const ThreadCtx& t) {
+  ++stats_.checkpoints;
+  checkpoints_.insert_or_assign(current_index(t), t);
+}
+
+}  // namespace ocsp::spec

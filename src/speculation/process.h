@@ -1,0 +1,287 @@
+// SpeculativeProcess: one CSP process under the optimistic protocol.
+//
+// Implements section 4.2 of the paper end-to-end:
+//   * Fork (4.2.1): split into left (S1) and right (S2 + continuation)
+//     threads, guess the passed values, guard the right thread.
+//   * Send (4.2.2): tag outgoing data messages with the commit guard set.
+//   * Message arrival (4.2.3): orphan rejection, future-thread detection,
+//     delivery-choice optimization (fewest new dependencies), checkpointing
+//     before each new dependency acquisition.
+//   * Receive (4.2.4): deliver to waiting threads.
+//   * Join (4.2.5): verifier, COMMIT / ABORT / PRECEDENCE emission.
+//   * Commit/Abort/Precedence processing (4.2.6-4.2.8) including CDG cycle
+//     detection (time faults) and multi-thread rollback.
+//   * Liveness (3.3): left-thread timeouts, join-wait timeouts, and the
+//     retry limit L with pessimistic fallback.
+//
+// A process may host several logical threads (the right-branching fork
+// structure); they are cooperatively scheduled on the discrete-event kernel
+// and never run concurrently with each other, mirroring the sequential
+// process semantics of CSP.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csp/machine.h"
+#include "net/envelope.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "speculation/cdg.h"
+#include "speculation/config.h"
+#include "speculation/guard_set.h"
+#include "speculation/guess.h"
+#include "speculation/history.h"
+#include "speculation/messages.h"
+#include "speculation/predictor.h"
+#include "speculation/stats.h"
+#include "trace/events.h"
+#include "trace/timeline.h"
+#include "util/rng.h"
+
+namespace ocsp::spec {
+
+class Runtime;
+
+/// One logical thread of a process.  Copyable: a checkpoint is a copy of
+/// the whole ThreadCtx (machine, guards, CDG, rollback map, event log).
+struct ThreadCtx {
+  enum class Phase {
+    kRunning,       ///< machine is ready; a step is (or will be) scheduled
+    kAwaitReply,    ///< blocked in a two-way call
+    kAwaitMessage,  ///< blocked in a receive
+    kAwaitCompute,  ///< burning virtual time
+    kJoinWait,      ///< left thread done; waiting for guard to resolve
+    kDoneWaitGuard, ///< program finished but guard still non-empty
+    kTerminated,    ///< finished for good (committed or superseded)
+  };
+
+  std::uint32_t index = 0;
+  std::uint32_t interval = 0;
+  Phase phase = Phase::kRunning;
+  csp::Machine machine;
+
+  GuardSet guard;
+  Cdg cdg;
+  std::map<GuessId, StateIndex> rollbacks;
+
+  /// Guess guarding this thread's start (right threads only).
+  bool has_own_guess = false;
+  GuessId own_guess;
+  std::string own_site;
+
+  /// Join bookkeeping, set on the thread that executed the fork (the left
+  /// thread keeps running S1 and joins when it completes).
+  bool has_pending_join = false;
+  GuessId join_guess;
+  std::uint32_t join_right_index = 0;
+  std::string join_site;
+  std::vector<std::string> join_passed;
+  std::map<std::string, csp::Value> join_guessed;
+  csp::Machine join_right_initial;  ///< right thread's start machine, for
+                                    ///< re-execution after an abort
+  bool join_guess_aborted = false;
+
+  /// Outstanding two-way call (phase == kAwaitReply).
+  std::int64_t outstanding_reqid = -1;
+
+  /// Logical observable-event log of this thread; events with position
+  /// < flushed_count are already in the process's committed log (and, for
+  /// external outputs, physically released).
+  std::vector<trace::ObservableEvent> event_log;
+  std::size_t flushed_count = 0;
+
+  /// Outgoing data messages this thread has produced (calls, sends,
+  /// replies).  Used by the replay rollback strategy to suppress the
+  /// re-sends a deterministic replay would otherwise duplicate.
+  std::uint64_t sent_count = 0;
+
+  /// Dependency acquisitions since the last full checkpoint (replay
+  /// strategy's periodic-checkpoint counter).
+  std::uint32_t accepts_since_checkpoint = 0;
+
+  /// Where (in the parent) this thread was created; used to decide which
+  /// threads a rollback kills.
+  StateIndex created_at;
+};
+
+class SpeculativeProcess {
+ public:
+  SpeculativeProcess(Runtime& runtime, ProcessId id, std::string name,
+                     csp::StmtPtr program, csp::Env initial_env,
+                     SpecConfig config, util::Rng rng);
+
+  SpeculativeProcess(const SpeculativeProcess&) = delete;
+  SpeculativeProcess& operator=(const SpeculativeProcess&) = delete;
+
+  /// Schedule the first step of thread 0.
+  void start();
+
+  /// Network delivery handler.
+  void on_message(const net::Envelope& env);
+
+  ProcessId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// True once the program ran to completion with an empty guard set.
+  bool completed() const { return completed_; }
+  sim::Time completion_time() const { return completion_time_; }
+
+  const SpecStats& stats() const { return stats_; }
+  const HistoryTable& history() const { return history_; }
+
+  /// Committed observable events in logical (program) order.
+  const std::vector<trace::ObservableEvent>& committed_events() const {
+    return committed_log_;
+  }
+
+  /// Introspection for tests.
+  std::size_t live_thread_count() const;
+  const ThreadCtx* thread(std::uint32_t index) const;
+  std::uint32_t current_incarnation() const { return incarnation_; }
+  std::size_t pending_message_count() const { return pending_.size(); }
+  std::size_t checkpoint_count() const { return checkpoints_.size(); }
+  std::size_t input_log_size() const { return input_log_.size(); }
+
+ private:
+  friend class Runtime;
+
+  // ---- scheduling -----------------------------------------------------
+  void schedule_step(std::uint32_t thread_index);
+  void run_thread(std::uint32_t thread_index);
+  bool handle_effect(ThreadCtx& t, csp::Effect effect);
+
+  // ---- fork / join (4.2.1, 4.2.5) --------------------------------------
+  void do_fork(ThreadCtx& t, const csp::ForkStmt& f);
+  void do_join(ThreadCtx& left);
+  void do_join_inner(ThreadCtx& left);
+  void finalize_join_commit(ThreadCtx& left);
+  void reexecute_right(ThreadCtx& left);
+  void on_fork_timeout(GuessId guess);
+  void on_join_wait_timeout(GuessId guess);
+  void arm_fork_timer(const GuessId& guess, sim::Time timeout);
+  void cancel_fork_timer(const GuessId& guess);
+
+  // ---- sending (4.2.2) --------------------------------------------------
+  void send_data(ThreadCtx& t, DataKind kind, const std::string& target_name,
+                 std::string op, csp::ValueList args, csp::Value result,
+                 std::int64_t reqid);
+
+  // ---- arrival / receive (4.2.3, 4.2.4) ---------------------------------
+  void process_arrivals();
+  bool try_deliver(const net::Envelope& env);
+  void accept_message(ThreadCtx& t, const net::Envelope& env);
+
+  // ---- control plane (4.2.5-4.2.8) --------------------------------------
+  void distribute_control(ControlKind kind, const GuessId& subject,
+                          const GuardSet& guard);
+  void forward_control(ControlKind kind, const GuessId& subject,
+                       ProcessId from);
+  void on_commit_msg(const GuessId& g);
+  void on_abort_msg(const GuessId& g);
+  void on_precedence_msg(const GuessId& subject, const GuardSet& guard);
+  void commit_guess_local(const GuessId& g);
+  void abort_guess_local(const GuessId& g);
+  void abort_own_guess(const GuessId& g, const char* reason);
+  void after_guard_change();
+
+  // ---- rollback (4.1.3) ---------------------------------------------------
+  void take_checkpoint(const ThreadCtx& t);
+  void rollback_to(const StateIndex& target, bool kill_target_thread);
+  void kill_thread(std::uint32_t index, std::vector<GuessId>& own_aborted);
+  void restore_thread(const StateIndex& target);
+  /// Replay strategy: reconstruct the thread state at `target` from the
+  /// nearest earlier full checkpoint plus the logged inputs.
+  ThreadCtx rebuild_by_replay(const StateIndex& checkpoint_key,
+                              const StateIndex& target);
+  /// Drive a replaying machine until it blocks, suppressing already-
+  /// performed side effects.
+  void replay_until_blocked(ThreadCtx& t);
+  /// Apply one logged input to a replaying thread.
+  struct LoggedInput;
+  void replay_feed(ThreadCtx& t, const LoggedInput& entry);
+
+  // ---- bookkeeping ---------------------------------------------------------
+  StateIndex current_index(const ThreadCtx& t) const;
+  /// Discard checkpoints, replay metadata, and logged inputs that no
+  /// possible future rollback can reach (everything strictly before the
+  /// earliest rollback point of any still-unresolved dependency).  Keeps a
+  /// long-running server's speculative state bounded by the window of
+  /// in-doubt guesses instead of the run length.
+  void gc_resolved_state();
+  void record_event(ThreadCtx& t, trace::ObservableEvent event);
+  void flush_events(ThreadCtx& t);
+  void flush_logs();
+  void check_completion();
+  ProcessId resolve(const std::string& name) const;
+  trace::Timeline& timeline();
+
+  Runtime& runtime_;
+  ProcessId id_;
+  std::string name_;
+  SpecConfig config_;
+  util::Rng rng_;
+
+  std::map<std::uint32_t, ThreadCtx> threads_;  // ascending thread index
+  std::uint32_t max_thread_ = 0;
+  std::uint32_t incarnation_ = 0;
+
+  HistoryTable history_;
+  PredictorState predictors_;
+  SpecStats stats_;
+
+  /// Consecutive own-guess aborts per fork site (liveness limit L).
+  std::map<std::string, int> site_aborts_;
+
+  /// reqid -> thread index of the caller awaiting the return.
+  std::map<std::int64_t, std::uint32_t> outstanding_calls_;
+  std::int64_t next_reqid_ = 1;
+
+  /// Messages accepted but not yet deliverable (no eligible waiting thread).
+  std::deque<net::Envelope> pending_;
+
+  struct LoggedInput {
+    StateIndex at;   ///< receiving thread's state index after acceptance
+    StateIndex pre;  ///< state index just before acceptance (rollback point)
+    net::Envelope env;
+  };  // (declared above for replay_feed)
+  std::vector<LoggedInput> input_log_;
+
+  std::map<StateIndex, ThreadCtx> checkpoints_;
+
+  /// Replay strategy bookkeeping, keyed by rollback point (the state index
+  /// just before a dependency-introducing acceptance).
+  struct ReplayMeta {
+    std::uint64_t sent_count = 0;
+    std::size_t flushed_count = 0;
+    std::int64_t outstanding_reqid = -1;
+  };
+  std::map<StateIndex, ReplayMeta> replay_meta_;
+  bool replaying_ = false;
+
+  /// Fork/join-wait timers keyed by guess (not checkpointed; re-armed).
+  std::map<GuessId, sim::Scheduler::Handle> fork_timers_;
+
+  /// Targeted control plane: which processes saw each guess in a tag.
+  std::map<GuessId, std::vector<ProcessId>> spread_;
+  /// (guess, control-kind) pairs already forwarded (loop prevention).
+  std::set<std::pair<GuessId, int>> control_forwarded_;
+
+  std::vector<trace::ObservableEvent> committed_log_;
+
+  bool completed_ = false;
+  sim::Time completion_time_ = 0;
+  bool stepping_ = false;             ///< re-entrancy guard for run_thread
+  bool in_process_arrivals_ = false;  ///< re-entrancy guard for delivery
+  std::map<std::uint32_t, bool> step_scheduled_;
+  std::map<std::uint32_t, sim::Scheduler::Handle> compute_timers_;
+};
+
+}  // namespace ocsp::spec

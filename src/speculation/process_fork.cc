@@ -1,0 +1,303 @@
+// Fork and join (sections 4.2.1 and 4.2.5).
+//
+// The fork always records enough to re-execute S2 from the left thread's
+// final state (join_right_initial + wholesale env adoption), which unifies
+// three paths: the pessimistic fallback (speculation disabled or retry
+// limit L exhausted), re-execution after a value/time fault, and
+// re-execution after a timeout abort.  The right thread's RNG is split from
+// the parent's at the fork point in every mode, so optimistic and
+// pessimistic executions of the same program observe identical random
+// draws (a prerequisite for the Theorem 1 trace-equality tests).
+#include "speculation/process.h"
+#include "speculation/runtime.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace ocsp::spec {
+
+void SpeculativeProcess::arm_fork_timer(const GuessId& guess,
+                                        sim::Time timeout) {
+  if (timeout <= 0) return;
+  cancel_fork_timer(guess);
+  fork_timers_[guess] =
+      runtime_.scheduler().after(timeout, [this, guess]() {
+        fork_timers_.erase(guess);
+        on_fork_timeout(guess);
+      });
+}
+
+void SpeculativeProcess::cancel_fork_timer(const GuessId& guess) {
+  auto it = fork_timers_.find(guess);
+  if (it == fork_timers_.end()) return;
+  runtime_.scheduler().cancel(it->second);
+  fork_timers_.erase(it);
+}
+
+void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
+  ++stats_.forks;
+  const bool speculate =
+      config_.speculation_enabled &&
+      site_aborts_[f.site] < config_.retry_limit;
+
+  // Prepare the right thread's start machine: a copy of the fork-point
+  // state positioned at S2 with a split RNG stream.  (When f.needs_copy is
+  // false the paper elides the state copy; with value-semantic machines the
+  // copy is how the split is expressed, so the elision is a memory
+  // optimization we only model, not a semantic difference.)
+  csp::Machine right_machine = t.machine;
+  right_machine.take_fork_branch(/*left=*/false);
+  right_machine.rng() = t.machine.rng().split();
+
+  // The left thread drops the continuation and runs S1 only.
+  t.machine.take_fork_branch(/*left=*/true);
+
+  t.has_pending_join = true;
+  t.join_right_index = max_thread_ + 1;
+  t.join_site = f.site;
+  t.join_passed = f.passed;
+  t.join_guessed.clear();
+  t.join_guess_aborted = false;
+
+  if (!speculate) {
+    ++stats_.sequential_forks;
+    // Keep the right thread dormant until the join supplies the actual
+    // state.
+    max_thread_ = t.join_right_index;
+    t.join_guess = GuessId{};  // invalid: sequential join
+    t.join_right_initial = std::move(right_machine);
+    timeline().record({trace::TimelineEntry::Kind::kFork,
+                       runtime_.scheduler().now(), id_, kNoProcess,
+                       "sequential site=" + f.site});
+    ++t.interval;  // give the post-fork state its own index
+    if (config_.rollback == RollbackStrategy::kReplayFromLog) {
+      take_checkpoint(t);
+      ++t.interval;
+    }
+    return;
+  }
+
+  const std::uint32_t new_index = ++max_thread_;
+  const GuessId guess{id_, incarnation_, new_index};
+  t.join_guess = guess;
+
+  // Apply the compiler-chosen predictor to each passed variable (3.2).
+  for (const auto& v : f.passed) {
+    auto spec_it = f.predictors.find(v);
+    OCSP_CHECK_MSG(spec_it != f.predictors.end(), "missing predictor");
+    csp::Value b =
+        predictors_.guess(f.site, v, spec_it->second, t.machine.env());
+    right_machine.env().set(v, b);
+    t.join_guessed[v] = std::move(b);
+  }
+  t.join_right_initial = right_machine;  // kept for re-execution
+
+  ThreadCtx r;
+  r.index = new_index;
+  r.interval = 0;
+  r.machine = std::move(right_machine);
+  r.guard = t.guard;
+  r.guard.add(guess);
+  r.cdg = t.cdg;
+  r.cdg.add_node(guess);
+  r.rollbacks = t.rollbacks;
+  r.rollbacks[guess] = StateIndex{incarnation_, new_index, 0};
+  r.has_own_guess = true;
+  r.own_guess = guess;
+  r.own_site = f.site;
+  r.created_at = current_index(t);
+
+  history_.peer(id_).set_status(guess, GuessStatus::kUnknown);
+
+  timeline().record({trace::TimelineEntry::Kind::kFork,
+                     runtime_.scheduler().now(), id_, kNoProcess,
+                     guess.to_string() + " site=" + f.site});
+
+  auto [it, inserted] = threads_.emplace(new_index, std::move(r));
+  OCSP_CHECK_MSG(inserted, "thread index reuse without kill");
+  take_checkpoint(it->second);
+  ++it->second.interval;  // keep the creation checkpoint key unique
+  schedule_step(new_index);
+
+  // The parent continues as the left thread; give its post-fork state its
+  // own index, and under the replay strategy take a full checkpoint here so
+  // replay segments never have to reconstruct fork bookkeeping.  The extra
+  // bump keeps the checkpoint key distinct from any later acceptance
+  // rollback point.
+  ++t.interval;
+  if (config_.rollback == RollbackStrategy::kReplayFromLog) {
+    take_checkpoint(t);
+    ++t.interval;
+  }
+
+  const sim::Time timeout =
+      f.timeout > 0 ? f.timeout : config_.fork_timeout;
+  arm_fork_timer(guess, timeout);
+}
+
+void SpeculativeProcess::do_join(ThreadCtx& left) {
+  do_join_inner(left);
+  after_guard_change();
+}
+
+void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
+  ++stats_.joins;
+  const bool sequential = !left.join_guess.valid();
+  timeline().record({trace::TimelineEntry::Kind::kJoin,
+                     runtime_.scheduler().now(), id_, kNoProcess,
+                     sequential ? "sequential" : left.join_guess.to_string()});
+
+  if (!sequential) cancel_fork_timer(left.join_guess);
+
+  // Feed the predictor caches with the actual values.
+  for (const auto& v : left.join_passed) {
+    predictors_.observe(left.join_site, v,
+                        left.machine.env().get_or(v, csp::Value()));
+  }
+
+  if (sequential || left.join_guess_aborted) {
+    // Pessimistic release, or the guess died earlier (timeout / cascade):
+    // start S2 from the left thread's final state.
+    reexecute_right(left);
+    return;
+  }
+
+  const GuessId guess = left.join_guess;
+
+  // Value-fault check (the verifier of section 4.2.5).
+  bool value_fault = false;
+  for (const auto& v : left.join_passed) {
+    const csp::Value actual = left.machine.env().get_or(v, csp::Value());
+    if (!(actual == left.join_guessed.at(v))) {
+      value_fault = true;
+      break;
+    }
+  }
+  const std::uint32_t left_index = left.index;
+  // A helper for the fault paths: abort processing may roll the left thread
+  // itself back (time fault: it acquired its own guess through a tainted
+  // return, Figures 4/5), in which case it resumes S1 and will re-reach the
+  // join; only if it is still terminated at the join do we re-execute now.
+  auto abort_and_maybe_reexecute = [this, left_index, guess](
+                                       const char* reason) {
+    abort_own_guess(guess, reason);
+    auto it = threads_.find(left_index);
+    if (it == threads_.end()) return;
+    ThreadCtx& l = it->second;
+    if (l.has_pending_join && l.join_guess_aborted && l.machine.done() &&
+        threads_.count(l.join_right_index) == 0) {
+      reexecute_right(l);
+    }
+  };
+
+  if (value_fault) {
+    ++stats_.aborts_value_fault;
+    abort_and_maybe_reexecute("value-fault");
+    return;
+  }
+
+  // Time-fault self check: if our own guess is in the guard set at the
+  // termination point, S1 causally follows S2 (Figure 4).
+  if (left.guard.covers(guess)) {
+    ++stats_.aborts_time_fault;
+    abort_and_maybe_reexecute("time-fault");
+    return;
+  }
+
+  if (left.guard.empty()) {
+    finalize_join_commit(left);
+    return;
+  }
+
+  // In doubt: publish "guard precedes guess" and wait (section 3.3).
+  ++stats_.precedence_sent;
+  GuardSet published = left.guard;
+  on_precedence_msg(guess, published);  // local CDG update + cycle check
+  auto it = threads_.find(left_index);
+  if (it == threads_.end()) return;
+  ThreadCtx& l = it->second;
+  if (l.join_guess_aborted) {
+    // The local precedence processing closed a cycle through our guess.
+    if (l.machine.done() && threads_.count(l.join_right_index) == 0) {
+      reexecute_right(l);
+    }
+    return;
+  }
+  distribute_control(ControlKind::kPrecedence, guess, published);
+  l.phase = ThreadCtx::Phase::kJoinWait;
+  fork_timers_[guess] = runtime_.scheduler().after(
+      config_.join_wait_timeout, [this, guess]() {
+        fork_timers_.erase(guess);
+        on_join_wait_timeout(guess);
+      });
+}
+
+void SpeculativeProcess::finalize_join_commit(ThreadCtx& left) {
+  const GuessId guess = left.join_guess;
+  OCSP_CHECK(guess.valid());
+  cancel_fork_timer(guess);
+  ++stats_.commits;
+  site_aborts_[left.join_site] = 0;
+  left.phase = ThreadCtx::Phase::kTerminated;
+  left.has_pending_join = false;
+  timeline().record({trace::TimelineEntry::Kind::kCommit,
+                     runtime_.scheduler().now(), id_, kNoProcess,
+                     guess.to_string()});
+  commit_guess_local(guess);
+  distribute_control(ControlKind::kCommit, guess, {});
+}
+
+void SpeculativeProcess::reexecute_right(ThreadCtx& left) {
+  const std::uint32_t right_index = left.join_right_index;
+  OCSP_CHECK_MSG(threads_.count(right_index) == 0,
+                 "re-execution while the right thread is still alive");
+
+  ThreadCtx r;
+  r.index = right_index;
+  r.interval = 0;
+  r.machine = left.join_right_initial;
+  // Adopt the left thread's full final state: sequential semantics say S2
+  // sees every write S1 made, not only the passed variables.
+  r.machine.env() = left.machine.env();
+  // Keep only the still-relevant dependencies of the left thread.
+  for (const auto& g : left.guard) {
+    if (history_.status(g) == GuessStatus::kUnknown) {
+      r.guard.add(g);
+      auto rb = left.rollbacks.find(g);
+      OCSP_CHECK_MSG(rb != left.rollbacks.end(), "guard without rollback");
+      r.rollbacks[g] = rb->second;
+      r.cdg.add_node(g);
+    }
+  }
+  r.has_own_guess = false;
+  r.created_at = current_index(left);
+
+  left.phase = ThreadCtx::Phase::kTerminated;
+  left.has_pending_join = false;
+
+  auto [it, inserted] = threads_.emplace(right_index, std::move(r));
+  OCSP_CHECK(inserted);
+  max_thread_ = std::max(max_thread_, right_index);
+  take_checkpoint(it->second);
+  ++it->second.interval;  // keep the creation checkpoint key unique
+  schedule_step(right_index);
+  flush_logs();
+}
+
+void SpeculativeProcess::on_fork_timeout(GuessId guess) {
+  if (history_.status(guess) != GuessStatus::kUnknown) return;
+  // The left thread exceeded its budget for S1 (divergence suspicion,
+  // section 3.3): the guess aborts, the left thread keeps running, and S2
+  // re-executes pessimistically once S1 eventually completes.
+  ++stats_.aborts_timeout;
+  abort_own_guess(guess, "timeout");
+  after_guard_change();
+}
+
+void SpeculativeProcess::on_join_wait_timeout(GuessId guess) {
+  if (history_.status(guess) != GuessStatus::kUnknown) return;
+  ++stats_.aborts_timeout;
+  abort_own_guess(guess, "join-wait-timeout");
+  after_guard_change();
+}
+
+}  // namespace ocsp::spec

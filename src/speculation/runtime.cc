@@ -1,0 +1,99 @@
+#include "speculation/runtime.h"
+
+#include "util/check.h"
+
+namespace ocsp::spec {
+
+Runtime::Runtime(RuntimeOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      network_(scheduler_, rng_.split()) {
+  network_.set_default_link(options_.default_link);
+}
+
+ProcessId Runtime::add_process(std::string name, csp::StmtPtr program,
+                               csp::Env initial_env,
+                               std::optional<SpecConfig> spec_override) {
+  OCSP_CHECK_MSG(!started_, "add_process after run() started");
+  OCSP_CHECK_MSG(names_.count(name) == 0, "duplicate process name");
+  const ProcessId id = static_cast<ProcessId>(processes_.size());
+  const SpecConfig spec = spec_override.value_or(options_.spec);
+  processes_.push_back(std::make_unique<SpeculativeProcess>(
+      *this, id, name, std::move(program), std::move(initial_env), spec,
+      rng_.split()));
+  names_.emplace(std::move(name), id);
+  network_.register_endpoint(id, [this, id](const net::Envelope& env) {
+    processes_[id]->on_message(env);
+  });
+  return id;
+}
+
+sim::Time Runtime::run(sim::Time deadline) {
+  if (!started_) {
+    started_ = true;
+    for (auto& p : processes_) p->start();
+  }
+  if (deadline == sim::kTimeNever) {
+    scheduler_.run();
+  } else {
+    scheduler_.run_until(deadline);
+  }
+  return scheduler_.now();
+}
+
+SpeculativeProcess& Runtime::process(ProcessId id) {
+  OCSP_CHECK(id < processes_.size());
+  return *processes_[id];
+}
+
+const SpeculativeProcess& Runtime::process(ProcessId id) const {
+  OCSP_CHECK(id < processes_.size());
+  return *processes_[id];
+}
+
+ProcessId Runtime::find(const std::string& name) const {
+  auto it = names_.find(name);
+  OCSP_CHECK_MSG(it != names_.end(), ("unknown process: " + name).c_str());
+  return it->second;
+}
+
+std::vector<ProcessId> Runtime::all_process_ids() const {
+  std::vector<ProcessId> out;
+  out.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    out.push_back(static_cast<ProcessId>(i));
+  }
+  return out;
+}
+
+trace::CommittedTrace Runtime::committed_trace() const {
+  trace::CommittedTrace trace;
+  for (const auto& p : processes_) {
+    for (const auto& e : p->committed_events()) trace.append(e);
+  }
+  return trace;
+}
+
+SpecStats Runtime::total_stats() const {
+  SpecStats total;
+  for (const auto& p : processes_) total.merge(p->stats());
+  return total;
+}
+
+sim::Time Runtime::last_completion_time() const {
+  sim::Time latest = 0;
+  for (const auto& p : processes_) {
+    if (p->completed()) latest = std::max(latest, p->completion_time());
+  }
+  return latest;
+}
+
+bool Runtime::all_clients_completed() const {
+  bool any = false;
+  for (const auto& p : processes_) {
+    if (p->completed()) any = true;
+  }
+  return any;
+}
+
+}  // namespace ocsp::spec

@@ -1,0 +1,81 @@
+// Runtime: wires processes, the simulated network, and the event kernel.
+//
+// A Runtime owns everything a run needs; benchmarks construct one per data
+// point, run it to completion on virtual time, and read the stats,
+// committed trace, and timeline back out.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "csp/env.h"
+#include "csp/program.h"
+#include "net/network.h"
+#include "sim/scheduler.h"
+#include "speculation/config.h"
+#include "speculation/process.h"
+#include "speculation/stats.h"
+#include "trace/events.h"
+#include "trace/timeline.h"
+#include "util/rng.h"
+
+namespace ocsp::spec {
+
+struct RuntimeOptions {
+  std::uint64_t seed = 42;
+  net::LinkConfig default_link;
+  SpecConfig spec;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+
+  /// Register a process.  `spec_override` (if given) replaces the global
+  /// SpecConfig for this process only.
+  ProcessId add_process(std::string name, csp::StmtPtr program,
+                        csp::Env initial_env = {},
+                        std::optional<SpecConfig> spec_override = {});
+
+  /// Run until the event queue drains or virtual time reaches `deadline`.
+  /// Returns the virtual time at the end of the run.
+  sim::Time run(sim::Time deadline = sim::kTimeNever);
+
+  net::Network& network() { return network_; }
+  sim::Scheduler& scheduler() { return scheduler_; }
+  trace::Timeline& timeline() { return timeline_; }
+
+  SpeculativeProcess& process(ProcessId id);
+  const SpeculativeProcess& process(ProcessId id) const;
+  ProcessId find(const std::string& name) const;
+  std::size_t process_count() const { return processes_.size(); }
+  std::vector<ProcessId> all_process_ids() const;
+
+  /// Committed observable events of every process (Theorem 1 oracle).
+  trace::CommittedTrace committed_trace() const;
+
+  /// Sum of all processes' protocol counters.
+  SpecStats total_stats() const;
+
+  /// Latest completion time among processes that completed (clients).
+  sim::Time last_completion_time() const;
+
+  /// True if every process whose program terminates has completed.
+  bool all_clients_completed() const;
+
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  RuntimeOptions options_;
+  util::Rng rng_;
+  sim::Scheduler scheduler_;
+  net::Network network_;
+  trace::Timeline timeline_;
+  std::vector<std::unique_ptr<SpeculativeProcess>> processes_;
+  std::map<std::string, ProcessId> names_;
+  bool started_ = false;
+};
+
+}  // namespace ocsp::spec

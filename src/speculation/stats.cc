@@ -1,0 +1,24 @@
+#include "speculation/stats.h"
+
+#include <sstream>
+
+namespace ocsp::spec {
+
+std::string SpecStats::to_string() const {
+  std::ostringstream os;
+  os << "forks=" << forks << " (seq=" << sequential_forks << ")"
+     << " joins=" << joins << " commits=" << commits
+     << " aborts[value=" << aborts_value_fault
+     << " time=" << aborts_time_fault << " timeout=" << aborts_timeout
+     << " cascade=" << aborts_cascade << "]"
+     << " rollbacks=" << rollbacks << " checkpoints=" << checkpoints
+     << " replays=" << replays << " orphans=" << orphans_discarded
+     << " redelivered=" << messages_redelivered
+     << " externals[buf=" << externals_buffered
+     << " rel=" << externals_released << " drop=" << externals_discarded
+     << "]"
+     << " control=" << control_sent << " precedence=" << precedence_sent;
+  return os.str();
+}
+
+}  // namespace ocsp::spec

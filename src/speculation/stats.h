@@ -1,0 +1,62 @@
+// Counters describing what the protocol did during a run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ocsp::spec {
+
+struct SpecStats {
+  std::uint64_t forks = 0;
+  std::uint64_t sequential_forks = 0;  ///< forks run pessimistically (L hit
+                                       ///< or speculation disabled)
+  std::uint64_t joins = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts_value_fault = 0;
+  std::uint64_t aborts_time_fault = 0;
+  std::uint64_t aborts_timeout = 0;
+  std::uint64_t aborts_cascade = 0;  ///< rollbacks caused by remote aborts
+  std::uint64_t rollbacks = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t replays = 0;
+  std::uint64_t orphans_discarded = 0;
+  std::uint64_t messages_redelivered = 0;
+  std::uint64_t externals_buffered = 0;
+  std::uint64_t externals_released = 0;
+  std::uint64_t externals_discarded = 0;
+  std::uint64_t control_sent = 0;
+  std::uint64_t precedence_sent = 0;
+  std::uint64_t checkpoints_pruned = 0;
+  std::uint64_t log_entries_pruned = 0;
+
+  std::uint64_t total_aborts() const {
+    return aborts_value_fault + aborts_time_fault + aborts_timeout;
+  }
+
+  void merge(const SpecStats& o) {
+    forks += o.forks;
+    sequential_forks += o.sequential_forks;
+    joins += o.joins;
+    commits += o.commits;
+    aborts_value_fault += o.aborts_value_fault;
+    aborts_time_fault += o.aborts_time_fault;
+    aborts_timeout += o.aborts_timeout;
+    aborts_cascade += o.aborts_cascade;
+    rollbacks += o.rollbacks;
+    checkpoints += o.checkpoints;
+    replays += o.replays;
+    orphans_discarded += o.orphans_discarded;
+    messages_redelivered += o.messages_redelivered;
+    externals_buffered += o.externals_buffered;
+    externals_released += o.externals_released;
+    externals_discarded += o.externals_discarded;
+    control_sent += o.control_sent;
+    precedence_sent += o.precedence_sent;
+    checkpoints_pruned += o.checkpoints_pruned;
+    log_entries_pruned += o.log_entries_pruned;
+  }
+
+  std::string to_string() const;
+};
+
+}  // namespace ocsp::spec

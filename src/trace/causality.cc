@@ -1,0 +1,92 @@
+#include "trace/causality.h"
+
+#include <map>
+#include <vector>
+
+namespace ocsp::trace {
+
+namespace {
+
+struct ChannelKey {
+  ProcessId src;
+  ProcessId dst;
+  auto operator<=>(const ChannelKey&) const = default;
+};
+
+}  // namespace
+
+CausalityReport check_causality(const CommittedTrace& trace) {
+  CausalityReport report;
+
+  const std::vector<ProcessId> procs = trace.processes();
+  std::map<ProcessId, std::size_t> cursor;           // next event per process
+  std::map<ProcessId, VectorClock> clocks;           // current clock
+  // Clocks of sends already processed, per channel, in send order.
+  std::map<ChannelKey, std::vector<VectorClock>> sent;
+  // How many receives already consumed per channel.
+  std::map<ChannelKey, std::size_t> consumed;
+
+  std::size_t remaining = trace.total_events();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (ProcessId p : procs) {
+      while (cursor[p] < trace.for_process(p).size()) {
+        const ObservableEvent& e = trace.for_process(p)[cursor[p]];
+        if (e.kind == ObservableEvent::Kind::kReceive) {
+          const ChannelKey key{e.peer, p};
+          const std::size_t k = consumed[key];
+          auto it = sent.find(key);
+          if (it == sent.end() || it->second.size() <= k) {
+            break;  // matching send not processed yet; try other processes
+          }
+          // Verify the payload against the k-th send on this channel.
+          const auto& sender_events = trace.for_process(e.peer);
+          std::size_t seen = 0;
+          const ObservableEvent* matching = nullptr;
+          for (const auto& se : sender_events) {
+            if (se.kind == ObservableEvent::Kind::kSend && se.peer == p) {
+              if (seen == k) {
+                matching = &se;
+                break;
+              }
+              ++seen;
+            }
+          }
+          if (matching == nullptr || matching->op != e.op ||
+              !(matching->data == e.data)) {
+            report.why = "receive at P" + std::to_string(p) +
+                         " does not match channel-order send: " +
+                         to_string(e);
+            return report;
+          }
+          clocks[p].merge(it->second[k]);
+          ++consumed[key];
+          ++report.matched_messages;
+        } else if (e.kind == ObservableEvent::Kind::kSend) {
+          clocks[p].tick(p);
+          sent[ChannelKey{p, e.peer}].push_back(clocks[p]);
+          ++cursor[p];
+          --remaining;
+          progressed = true;
+          continue;
+        } else {
+          ++report.local_events;
+        }
+        clocks[p].tick(p);
+        ++cursor[p];
+        --remaining;
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      report.why = "no progress with " + std::to_string(remaining) +
+                   " events remaining: causality cycle or dangling receive";
+      return report;
+    }
+  }
+
+  report.ok = true;
+  return report;
+}
+
+}  // namespace ocsp::trace

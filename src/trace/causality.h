@@ -1,0 +1,38 @@
+// Happens-before validation of committed traces.
+//
+// Theorem 1 preserves both the data values of observable events and the
+// happens-before relation between them.  compare_traces() checks the
+// values and per-process orders; this checker validates the cross-process
+// half: every committed receive must have a matching committed send (same
+// channel, op, and payload, in channel order), and the induced
+// happens-before relation must be acyclic — the committed execution never
+// contains a Figure 4-style cycle, no matter how much speculation and
+// rollback produced it.
+//
+// The checker replays the trace in a causally consistent order (a receive
+// is only processed after its matching send), building vector clocks as it
+// goes; failure to make progress with events remaining is exactly a
+// causality cycle or a dangling receive.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/events.h"
+#include "trace/vector_clock.h"
+
+namespace ocsp::trace {
+
+struct CausalityReport {
+  bool ok = false;
+  std::string why;
+  std::size_t matched_messages = 0;
+  std::size_t local_events = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Validate the cross-process causal structure of a committed trace.
+CausalityReport check_causality(const CommittedTrace& trace);
+
+}  // namespace ocsp::trace

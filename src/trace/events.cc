@@ -1,0 +1,120 @@
+#include "trace/events.h"
+
+#include <sstream>
+
+namespace ocsp::trace {
+
+std::string to_string(const ObservableEvent& e) {
+  std::ostringstream os;
+  switch (e.kind) {
+    case ObservableEvent::Kind::kExternalOutput:
+      os << "P" << e.process << " output " << e.data.to_string();
+      break;
+    case ObservableEvent::Kind::kSend:
+      os << "P" << e.process << " send " << e.op << "(" << e.data.to_string()
+         << ") -> P" << e.peer;
+      break;
+    case ObservableEvent::Kind::kReceive:
+      os << "P" << e.process << " recv " << e.op << "(" << e.data.to_string()
+         << ") <- P" << e.peer;
+      break;
+    case ObservableEvent::Kind::kCallReturn:
+      os << "P" << e.process << " return " << e.data.to_string() << " <- P"
+         << e.peer;
+      break;
+  }
+  return os.str();
+}
+
+void CommittedTrace::append(ObservableEvent event) {
+  per_process_[event.process].push_back(std::move(event));
+}
+
+const std::vector<ObservableEvent>& CommittedTrace::for_process(
+    ProcessId id) const {
+  static const std::vector<ObservableEvent> kEmpty;
+  auto it = per_process_.find(id);
+  return it == per_process_.end() ? kEmpty : it->second;
+}
+
+std::vector<ProcessId> CommittedTrace::processes() const {
+  std::vector<ProcessId> out;
+  for (const auto& [id, events] : per_process_) {
+    if (!events.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t CommittedTrace::total_events() const {
+  std::size_t n = 0;
+  for (const auto& [id, events] : per_process_) n += events.size();
+  return n;
+}
+
+std::string CommittedTrace::to_string() const {
+  std::ostringstream os;
+  for (const auto& [id, events] : per_process_) {
+    for (const auto& e : events) os << trace::to_string(e) << "\n";
+  }
+  return os.str();
+}
+
+bool compare_process_trace(const CommittedTrace& a, const CommittedTrace& b,
+                           ProcessId id, std::string* why) {
+  const auto& ea = a.for_process(id);
+  const auto& eb = b.for_process(id);
+  const std::size_t n = std::min(ea.size(), eb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(ea[i] == eb[i])) {
+      if (why) {
+        *why = "process " + std::to_string(id) + " event " +
+               std::to_string(i) + " differs: " + to_string(ea[i]) + " vs " +
+               to_string(eb[i]);
+      }
+      return false;
+    }
+  }
+  if (ea.size() != eb.size()) {
+    if (why) {
+      *why = "process " + std::to_string(id) + " event counts differ: " +
+             std::to_string(ea.size()) + " vs " + std::to_string(eb.size());
+    }
+    return false;
+  }
+  return true;
+}
+
+bool compare_traces(const CommittedTrace& a, const CommittedTrace& b,
+                    std::string* why) {
+  auto procs_a = a.processes();
+  auto procs_b = b.processes();
+  if (procs_a != procs_b) {
+    if (why) *why = "different sets of processes with observable events";
+    return false;
+  }
+  for (ProcessId id : procs_a) {
+    const auto& ea = a.for_process(id);
+    const auto& eb = b.for_process(id);
+    const std::size_t n = std::min(ea.size(), eb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!(ea[i] == eb[i])) {
+        if (why) {
+          *why = "process " + std::to_string(id) + " event " +
+                 std::to_string(i) + " differs: " + to_string(ea[i]) +
+                 " vs " + to_string(eb[i]);
+        }
+        return false;
+      }
+    }
+    if (ea.size() != eb.size()) {
+      if (why) {
+        *why = "process " + std::to_string(id) + " event counts differ: " +
+               std::to_string(ea.size()) + " vs " + std::to_string(eb.size());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ocsp::trace

@@ -1,0 +1,68 @@
+// Observable events and committed-trace comparison.
+//
+// Theorem 1 of the paper: an optimistic parallelization yields the same
+// partial traces as the pessimistic computation.  "Observable events" are
+// the messages sent and received by all computations except those that are
+// aborted, plus external outputs; both the data values and the per-process
+// order must match.  CommittedTrace captures exactly that, and
+// compare_traces() is the oracle our property tests run against.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "csp/value.h"
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace ocsp::trace {
+
+struct ObservableEvent {
+  enum class Kind { kExternalOutput, kSend, kReceive, kCallReturn };
+  Kind kind = Kind::kExternalOutput;
+  ProcessId process = kNoProcess;  ///< process observing the event
+  ProcessId peer = kNoProcess;     ///< other endpoint for send/receive
+  std::string op;                  ///< operation name for send/receive
+  csp::Value data;
+
+  friend bool operator==(const ObservableEvent&,
+                         const ObservableEvent&) = default;
+};
+
+std::string to_string(const ObservableEvent& e);
+
+/// Per-process sequences of committed observable events, in each process's
+/// logical (program) order.
+class CommittedTrace {
+ public:
+  void append(ObservableEvent event);
+
+  const std::vector<ObservableEvent>& for_process(ProcessId id) const;
+  std::vector<ProcessId> processes() const;
+  std::size_t total_events() const;
+
+  std::string to_string() const;
+
+ private:
+  std::map<ProcessId, std::vector<ObservableEvent>> per_process_;
+};
+
+/// Compare two traces for partial-trace equality (Theorem 1).  On mismatch
+/// returns false and, if `why` is non-null, a human-readable explanation of
+/// the first difference.
+///
+/// Note this is *stricter* than Theorem 1 for multi-client systems: the
+/// theorem fixes each process's own observable sequence, but a server
+/// receiving from causally unrelated clients may legally observe their
+/// requests in a different interleaving.  Use compare_process_trace() on
+/// the client processes for such scenarios.
+bool compare_traces(const CommittedTrace& a, const CommittedTrace& b,
+                    std::string* why = nullptr);
+
+/// Compare one process's committed sequence between two traces.
+bool compare_process_trace(const CommittedTrace& a, const CommittedTrace& b,
+                           ProcessId id, std::string* why = nullptr);
+
+}  // namespace ocsp::trace

@@ -1,0 +1,61 @@
+#include "trace/timeline.h"
+
+#include <sstream>
+
+namespace ocsp::trace {
+
+namespace {
+const char* kind_name(TimelineEntry::Kind k) {
+  switch (k) {
+    case TimelineEntry::Kind::kMsgSend:
+      return "send";
+    case TimelineEntry::Kind::kMsgDeliver:
+      return "deliver";
+    case TimelineEntry::Kind::kFork:
+      return "fork";
+    case TimelineEntry::Kind::kJoin:
+      return "join";
+    case TimelineEntry::Kind::kCommit:
+      return "commit";
+    case TimelineEntry::Kind::kAbort:
+      return "abort";
+    case TimelineEntry::Kind::kRollback:
+      return "rollback";
+    case TimelineEntry::Kind::kExternalRelease:
+      return "output";
+    case TimelineEntry::Kind::kNote:
+      return "note";
+  }
+  return "?";
+}
+}  // namespace
+
+void Timeline::note(sim::Time when, ProcessId process, std::string label) {
+  record(TimelineEntry{TimelineEntry::Kind::kNote, when, process, kNoProcess,
+                       std::move(label)});
+}
+
+std::size_t Timeline::count(TimelineEntry::Kind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string to_string(const TimelineEntry& e) {
+  std::ostringstream os;
+  os << "t=" << sim::to_micros(e.when) << "us  P" << e.process;
+  if (e.peer != kNoProcess) os << "->P" << e.peer;
+  os << "  " << kind_name(e.kind);
+  if (!e.label.empty()) os << "  " << e.label;
+  return os.str();
+}
+
+std::string Timeline::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : entries_) os << trace::to_string(e) << "\n";
+  return os.str();
+}
+
+}  // namespace ocsp::trace

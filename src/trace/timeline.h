@@ -1,0 +1,58 @@
+// Physical timeline of a run: what happened on the (virtual) wall clock.
+//
+// The paper's Figures 2-7 are time-line diagrams; the benchmark binaries
+// regenerate them by rendering this log.  Unlike CommittedTrace (logical,
+// committed-only), the Timeline records *everything* — speculative sends,
+// forks, aborts, rollbacks — because the aborted work is exactly what the
+// figures illustrate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace ocsp::trace {
+
+struct TimelineEntry {
+  enum class Kind {
+    kMsgSend,
+    kMsgDeliver,
+    kFork,
+    kJoin,
+    kCommit,
+    kAbort,
+    kRollback,
+    kExternalRelease,
+    kNote,
+  };
+  Kind kind = Kind::kNote;
+  sim::Time when = 0;
+  ProcessId process = kNoProcess;
+  ProcessId peer = kNoProcess;
+  std::string label;  ///< message kind, guess name, rollback target, ...
+};
+
+class Timeline {
+ public:
+  void record(TimelineEntry entry) { entries_.push_back(std::move(entry)); }
+  void note(sim::Time when, ProcessId process, std::string label);
+
+  const std::vector<TimelineEntry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  /// Count entries of one kind (e.g. how many rollbacks a run performed).
+  std::size_t count(TimelineEntry::Kind kind) const;
+
+  /// Render as "t=<us>  P<id>  <event>" lines, in time order.
+  std::string to_string() const;
+
+ private:
+  std::vector<TimelineEntry> entries_;
+};
+
+std::string to_string(const TimelineEntry& e);
+
+}  // namespace ocsp::trace

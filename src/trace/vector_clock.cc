@@ -1,0 +1,53 @@
+#include "trace/vector_clock.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ocsp::trace {
+
+std::uint64_t VectorClock::get(ProcessId id) const {
+  auto it = clock_.find(id);
+  return it == clock_.end() ? 0 : it->second;
+}
+
+void VectorClock::tick(ProcessId id) { ++clock_[id]; }
+
+void VectorClock::merge(const VectorClock& other) {
+  for (const auto& [id, v] : other.clock_) {
+    auto& mine = clock_[id];
+    mine = std::max(mine, v);
+  }
+}
+
+bool VectorClock::happens_before(const VectorClock& a, const VectorClock& b) {
+  bool strictly_less = false;
+  for (const auto& [id, va] : a.clock_) {
+    const std::uint64_t vb = b.get(id);
+    if (va > vb) return false;
+    if (va < vb) strictly_less = true;
+  }
+  // Components present only in b make b strictly larger.
+  for (const auto& [id, vb] : b.clock_) {
+    if (vb > a.get(id)) strictly_less = true;
+  }
+  return strictly_less;
+}
+
+bool VectorClock::concurrent(const VectorClock& a, const VectorClock& b) {
+  return !happens_before(a, b) && !happens_before(b, a) && !(a == b);
+}
+
+std::string VectorClock::to_string() const {
+  std::ostringstream os;
+  os << "<";
+  bool first = true;
+  for (const auto& [id, v] : clock_) {
+    if (!first) os << ",";
+    first = false;
+    os << "P" << id << ":" << v;
+  }
+  os << ">";
+  return os.str();
+}
+
+}  // namespace ocsp::trace

@@ -1,0 +1,44 @@
+// Vector clocks for happens-before checking.
+//
+// The protocol must preserve the happens-before relation of the sequential
+// program (section 2: "if e1 is an event in S1 and e2 in S2 then e1 -> e2").
+// The property tests stamp committed events with vector clocks and assert
+// that every receive causally follows its send and that per-process logical
+// order is monotone — i.e. no committed execution contains a causality
+// cycle like Figure 4's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/ids.h"
+
+namespace ocsp::trace {
+
+class VectorClock {
+ public:
+  /// Component for `id` (0 when absent).
+  std::uint64_t get(ProcessId id) const;
+
+  /// Increment own component (a local event at `id`).
+  void tick(ProcessId id);
+
+  /// Pointwise maximum (message receipt: merge sender's clock, then tick).
+  void merge(const VectorClock& other);
+
+  /// a happens-before b: a <= b pointwise and a != b.
+  static bool happens_before(const VectorClock& a, const VectorClock& b);
+
+  /// Neither happens-before the other.
+  static bool concurrent(const VectorClock& a, const VectorClock& b);
+
+  friend bool operator==(const VectorClock&, const VectorClock&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::map<ProcessId, std::uint64_t> clock_;
+};
+
+}  // namespace ocsp::trace

@@ -1,0 +1,38 @@
+// Def/use analysis over the CSP IR.
+//
+// Supplies the transformer with the passed set {v_i} of a fork (variables
+// written by S1 and read by S2 or its continuation — section 3.2) and the
+// anti-dependency test (a variable read by S1 and overwritten by S2 forces
+// the state copy; otherwise the copy can be elided).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "csp/program.h"
+
+namespace ocsp::transform {
+
+struct Analysis {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+  /// True when the fragment contains a NativeStmt (whose effects we cannot
+  /// see); reads/writes are then lower bounds and automatic passed-set
+  /// inference must be refused.
+  bool opaque = false;
+
+  void merge(const Analysis& other);
+};
+
+/// Analyze one statement tree.
+Analysis analyze(const csp::StmtPtr& stmt);
+
+/// writes(s1) ∩ reads(s2): the candidate passed set for fork(s1, s2).
+std::set<std::string> passed_set(const csp::StmtPtr& s1,
+                                 const csp::StmtPtr& s2);
+
+/// reads(s1) ∩ writes(s2) non-empty: S2 would clobber state S1 still needs,
+/// so the right thread must run on its own copy (section 3.2).
+bool has_anti_dependency(const csp::StmtPtr& s1, const csp::StmtPtr& s2);
+
+}  // namespace ocsp::transform

@@ -1,0 +1,111 @@
+#include "transform/fork_insertion.h"
+
+#include <vector>
+
+#include "transform/analysis.h"
+#include "util/check.h"
+
+namespace ocsp::transform {
+
+namespace {
+
+csp::StmtPtr rewrite(const csp::StmtPtr& stmt, std::size_t& count);
+
+csp::StmtPtr rewrite_seq(const csp::SeqStmt& seq, std::size_t& count) {
+  // First rewrite children, then expand the first hint at this level; the
+  // recursion through the fork's right branch handles any further hints.
+  std::vector<csp::StmtPtr> body;
+  body.reserve(seq.body.size());
+  for (const auto& child : seq.body) {
+    // Hints are consumed at this level, not recursed into.
+    body.push_back(child->kind == csp::StmtKind::kHint ? child
+                                                       : rewrite(child, count));
+  }
+
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (body[i]->kind != csp::StmtKind::kHint) continue;
+    const auto& h = static_cast<const csp::HintStmt&>(*body[i]);
+    OCSP_CHECK_MSG(h.span >= 1 && h.span <= i,
+                   "hint span exceeds preceding statements");
+
+    // S1 = the `span` statements before the hint.
+    std::vector<csp::StmtPtr> s1_body(body.begin() + (i - h.span),
+                                      body.begin() + i);
+    csp::StmtPtr s1 =
+        s1_body.size() == 1 ? s1_body[0] : csp::seq(std::move(s1_body));
+
+    // S2 (plus the rest of this Seq) = everything after the hint.
+    std::vector<csp::StmtPtr> s2_body(body.begin() + i + 1, body.end());
+    csp::StmtPtr s2 = csp::seq(std::move(s2_body));
+    s2 = rewrite(s2, count);  // idempotent; children already rewritten
+
+    std::map<std::string, csp::PredictorSpec> predictors = h.predictors;
+    std::vector<std::string> passed;
+    if (predictors.empty()) {
+      // Automatic mode: infer the passed set and default every variable to
+      // a last-committed predictor.
+      const Analysis a1 = analyze(s1);
+      const Analysis a2 = analyze(s2);
+      OCSP_CHECK_MSG(!a1.opaque && !a2.opaque,
+                     "cannot infer passed set across native statements");
+      for (const auto& v : passed_set(s1, s2)) {
+        predictors.emplace(v, csp::PredictorSpec::last_committed(csp::Value()));
+        passed.push_back(v);
+      }
+    } else {
+      for (const auto& [v, spec] : predictors) passed.push_back(v);
+    }
+
+    const bool needs_copy = has_anti_dependency(s1, s2);
+    std::string site = h.site.empty()
+                           ? "hint#" + std::to_string(count)
+                           : h.site;
+    ++count;
+
+    std::vector<csp::StmtPtr> out(body.begin(), body.begin() + (i - h.span));
+    out.push_back(csp::fork(std::move(s1), std::move(s2), std::move(passed),
+                            std::move(predictors), std::move(site), h.timeout,
+                            needs_copy));
+    return csp::seq(std::move(out));
+  }
+  return csp::seq(std::move(body));
+}
+
+csp::StmtPtr rewrite(const csp::StmtPtr& stmt, std::size_t& count) {
+  using csp::StmtKind;
+  switch (stmt->kind) {
+    case StmtKind::kSeq:
+      return rewrite_seq(static_cast<const csp::SeqStmt&>(*stmt), count);
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const csp::IfStmt&>(*stmt);
+      return csp::if_(s.cond, rewrite(s.then_branch, count),
+                      s.else_branch ? rewrite(s.else_branch, count) : nullptr);
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
+      return csp::while_(s.cond, rewrite(s.body, count));
+    }
+    case StmtKind::kFork: {
+      const auto& s = static_cast<const csp::ForkStmt&>(*stmt);
+      auto f = std::make_shared<csp::ForkStmt>(s);
+      f->left = rewrite(s.left, count);
+      f->right = rewrite(s.right, count);
+      return f;
+    }
+    case StmtKind::kHint:
+      OCSP_CHECK_MSG(false, "hint not directly inside a seq");
+      return stmt;
+    default:
+      return stmt;
+  }
+}
+
+}  // namespace
+
+ForkInsertionResult insert_forks(const csp::StmtPtr& program) {
+  ForkInsertionResult result;
+  result.program = rewrite(program, result.forks_inserted);
+  return result;
+}
+
+}  // namespace ocsp::transform

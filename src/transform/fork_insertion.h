@@ -1,0 +1,31 @@
+// Hint expansion: the generic S1;S2 -> S1||S2 transformation (section 3.2).
+//
+// The programmer (or a profiler) marks the boundary with a ParallelizeHint
+// inside a Seq; this pass rewrites
+//
+//     seq { pre...  S1  @parallelize  post... }
+// into
+//     seq { pre...  fork { left: S1, right: seq { post... } } }
+//
+// choosing the passed set, predictors, and copy-elision flag.  The fork is
+// the final statement of the rewritten Seq, so the right thread naturally
+// continues into the enclosing program (the right-branching structure of
+// the paper), while the left thread runs S1 only.
+#pragma once
+
+#include "csp/program.h"
+
+namespace ocsp::transform {
+
+struct ForkInsertionResult {
+  csp::StmtPtr program;
+  std::size_t forks_inserted = 0;
+};
+
+/// Expand every HintStmt in the tree.  Hints whose predictor map is empty
+/// get an automatically inferred passed set (writes(S1) ∩ reads(S2)) with
+/// last-committed predictors; this is refused (OCSP_CHECK) if S1 or S2
+/// contains an unanalyzable NativeStmt.
+ForkInsertionResult insert_forks(const csp::StmtPtr& program);
+
+}  // namespace ocsp::transform

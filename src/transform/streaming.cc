@@ -1,0 +1,100 @@
+#include "transform/streaming.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace ocsp::transform {
+
+namespace {
+
+struct Ctx {
+  const StreamingOptions& options;
+  std::size_t count = 0;
+};
+
+csp::StmtPtr rewrite(const csp::StmtPtr& stmt, Ctx& ctx);
+
+bool should_stream(const csp::CallStmt& call, const Ctx& ctx) {
+  return !ctx.options.filter || ctx.options.filter(call);
+}
+
+csp::PredictorSpec predictor_for(const csp::CallStmt& call, const Ctx& ctx) {
+  if (ctx.options.predictor) return ctx.options.predictor(call);
+  return csp::PredictorSpec::last_committed(ctx.options.initial_guess);
+}
+
+csp::StmtPtr rewrite_seq(const csp::SeqStmt& seq, Ctx& ctx) {
+  std::vector<csp::StmtPtr> body;
+  body.reserve(seq.body.size());
+  for (const auto& child : seq.body) body.push_back(rewrite(child, ctx));
+
+  // Find the first streamable call that has a continuation after it; the
+  // recursion through the fork's right branch streams the rest.
+  for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+    if (body[i]->kind != csp::StmtKind::kCall) continue;
+    const auto& call = static_cast<const csp::CallStmt&>(*body[i]);
+    if (!should_stream(call, ctx)) continue;
+
+    std::vector<csp::StmtPtr> rest(body.begin() + i + 1, body.end());
+    csp::StmtPtr right = rewrite(csp::seq(std::move(rest)), ctx);
+
+    std::map<std::string, csp::PredictorSpec> predictors;
+    std::vector<std::string> passed;
+    if (!call.result_var.empty()) {
+      predictors.emplace(call.result_var, predictor_for(call, ctx));
+      passed.push_back(call.result_var);
+    }
+    std::string site = "stream:" + call.target + "." + call.op + "#" +
+                       std::to_string(ctx.count);
+    ++ctx.count;
+
+    std::vector<csp::StmtPtr> out(body.begin(), body.begin() + i);
+    // Call streaming has no anti-dependency: S1 is a single call whose only
+    // write is the result variable (section 3.2's copy elision applies).
+    out.push_back(csp::fork(body[i], std::move(right), std::move(passed),
+                            std::move(predictors), std::move(site),
+                            ctx.options.timeout, /*needs_copy=*/false));
+    return csp::seq(std::move(out));
+  }
+  return csp::seq(std::move(body));
+}
+
+csp::StmtPtr rewrite(const csp::StmtPtr& stmt, Ctx& ctx) {
+  using csp::StmtKind;
+  switch (stmt->kind) {
+    case StmtKind::kSeq:
+      return rewrite_seq(static_cast<const csp::SeqStmt&>(*stmt), ctx);
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const csp::IfStmt&>(*stmt);
+      return csp::if_(s.cond, rewrite(s.then_branch, ctx),
+                      s.else_branch ? rewrite(s.else_branch, ctx) : nullptr);
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
+      return csp::while_(s.cond, rewrite(s.body, ctx));
+    }
+    case StmtKind::kFork: {
+      const auto& s = static_cast<const csp::ForkStmt&>(*stmt);
+      auto f = std::make_shared<csp::ForkStmt>(s);
+      f->left = rewrite(s.left, ctx);
+      f->right = rewrite(s.right, ctx);
+      return f;
+    }
+    default:
+      return stmt;
+  }
+}
+
+}  // namespace
+
+StreamingResult stream_calls(const csp::StmtPtr& program,
+                             StreamingOptions options) {
+  Ctx ctx{options};
+  StreamingResult result;
+  result.program = rewrite(program, ctx);
+  result.calls_streamed = ctx.count;
+  return result;
+}
+
+}  // namespace ocsp::transform

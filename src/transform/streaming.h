@@ -1,0 +1,41 @@
+// The call streaming transformation (sections 1-2, Figures 1-3).
+//
+// Rewrites every selected two-way CallStmt into a fork whose left thread
+// performs the call while the right thread runs the continuation on a
+// guessed return value, turning a chain of blocking round trips into a
+// pipeline of one-way sends.  Applied inside a loop body this produces the
+// unbounded right-branching fork chain of section 3.2.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "csp/program.h"
+
+namespace ocsp::transform {
+
+struct StreamingOptions {
+  /// Which calls to stream; default: all of them.
+  std::function<bool(const csp::CallStmt&)> filter;
+
+  /// Predictor for the call's result variable.  Default: guess the last
+  /// committed return value (first instance guesses `initial_guess`).
+  std::function<csp::PredictorSpec(const csp::CallStmt&)> predictor;
+
+  /// Initial guess before any return has been observed (used by the default
+  /// predictor).  The PutLine/Update idiom guesses "call succeeded".
+  csp::Value initial_guess = csp::Value(true);
+
+  /// Left-thread timeout passed to each fork (0 = runtime default).
+  sim::Time timeout = 0;
+};
+
+struct StreamingResult {
+  csp::StmtPtr program;
+  std::size_t calls_streamed = 0;
+};
+
+StreamingResult stream_calls(const csp::StmtPtr& program,
+                             StreamingOptions options = {});
+
+}  // namespace ocsp::transform

@@ -1,0 +1,34 @@
+// Checked assertions that stay on in release builds.
+//
+// Protocol invariants (guard-set consistency, CDG acyclicity after abort,
+// rollback-point existence) are cheap to test relative to simulated work,
+// so we keep them enabled in all build types.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ocsp::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "OCSP_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace ocsp::detail
+
+#define OCSP_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ocsp::detail::check_failed(__FILE__, __LINE__, #expr, "");     \
+    }                                                                  \
+  } while (0)
+
+#define OCSP_CHECK_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::ocsp::detail::check_failed(__FILE__, __LINE__, #expr, (msg));  \
+    }                                                                  \
+  } while (0)

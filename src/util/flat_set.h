@@ -1,0 +1,63 @@
+// Sorted-vector set: cache-friendly for the small sets that dominate the
+// protocol (commit guard sets typically hold one guess per peer process).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace ocsp::util {
+
+template <typename T, typename Compare = std::less<T>>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  FlatSet() = default;
+  FlatSet(std::initializer_list<T> init) {
+    for (const T& v : init) insert(v);
+  }
+
+  bool insert(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value, cmp_);
+    if (it != items_.end() && !cmp_(value, *it)) return false;
+    items_.insert(it, value);
+    return true;
+  }
+
+  bool erase(const T& value) {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value, cmp_);
+    if (it == items_.end() || cmp_(value, *it)) return false;
+    items_.erase(it);
+    return true;
+  }
+
+  bool contains(const T& value) const {
+    return std::binary_search(items_.begin(), items_.end(), value, cmp_);
+  }
+
+  /// Find the element equal to `value` under the comparator, or end().
+  const_iterator find(const T& value) const {
+    auto it = std::lower_bound(items_.begin(), items_.end(), value, cmp_);
+    if (it != items_.end() && !cmp_(value, *it)) return it;
+    return items_.end();
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void clear() { items_.clear(); }
+
+  const_iterator begin() const { return items_.begin(); }
+  const_iterator end() const { return items_.end(); }
+
+  friend bool operator==(const FlatSet& a, const FlatSet& b) {
+    return a.items_ == b.items_;
+  }
+
+ private:
+  std::vector<T> items_;
+  Compare cmp_{};
+};
+
+}  // namespace ocsp::util

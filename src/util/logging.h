@@ -1,0 +1,57 @@
+// Minimal leveled logger.
+//
+// Logging is off by default (level = Warn) so tests and benchmarks stay
+// quiet; protocol debugging flips the level to Debug and gets a full
+// message-by-message account of guard propagation, forks, and rollbacks.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ocsp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one log line (appends '\n').  Thread-safe via a single mutex.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct NullLog {
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace detail
+}  // namespace ocsp::util
+
+#define OCSP_LOG(level)                                        \
+  if (::ocsp::util::LogLevel::level < ::ocsp::util::log_level()) \
+    ;                                                          \
+  else                                                         \
+    ::ocsp::util::detail::LogMessage(::ocsp::util::LogLevel::level)
+
+#define OCSP_DLOG OCSP_LOG(kDebug)
+#define OCSP_ILOG OCSP_LOG(kInfo)
+#define OCSP_WLOG OCSP_LOG(kWarn)

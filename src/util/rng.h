@@ -1,0 +1,58 @@
+// Deterministic random number generation.
+//
+// Every source of randomness in the library flows through Rng so that a run
+// is a pure function of its seeds.  The engine is xoshiro256** seeded via
+// splitmix64; it is small enough to checkpoint by value, which matters
+// because a speculative rollback must also roll back the process's RNG
+// (otherwise replayed computations would diverge from the original).
+#pragma once
+
+#include <cstdint>
+
+namespace ocsp::util {
+
+/// splitmix64 step — used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine.  Copyable, comparable, 32 bytes of state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  Rng() : Rng(kDefaultSeed) {}
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Derive an independent child stream (e.g. one per process).
+  Rng split();
+
+  friend bool operator==(const Rng&, const Rng&) = default;
+
+ private:
+  static constexpr std::uint64_t kDefaultSeed = 0x9e3779b97f4a7c15ull;
+  std::uint64_t s_[4];
+};
+
+}  // namespace ocsp::util

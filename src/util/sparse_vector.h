@@ -1,0 +1,51 @@
+// Sparse vector with a default value for missing elements.
+//
+// Section 4.1.5 of the paper: "Since most guesses are assumed to commit,
+// this should be implemented as a sparse vector with missing elements
+// assumed to be commits."  Commit histories store only the exceptions
+// (aborted / unknown guesses); everything else reads back as the default.
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+namespace ocsp::util {
+
+template <typename T>
+class SparseVector {
+ public:
+  explicit SparseVector(T default_value) : default_(std::move(default_value)) {}
+
+  /// Read element i; returns the default when no explicit entry exists.
+  const T& get(std::size_t i) const {
+    auto it = entries_.find(i);
+    return it == entries_.end() ? default_ : it->second;
+  }
+
+  /// Write element i.  Writing the default erases the explicit entry so the
+  /// structure stays sparse under commit-heavy workloads.
+  void set(std::size_t i, T value) {
+    if (value == default_) {
+      entries_.erase(i);
+    } else {
+      entries_[i] = std::move(value);
+    }
+  }
+
+  bool has_explicit(std::size_t i) const { return entries_.count(i) > 0; }
+
+  /// Number of non-default entries currently stored.
+  std::size_t explicit_count() const { return entries_.size(); }
+
+  const T& default_value() const { return default_; }
+
+  /// Iterate explicit (index, value) pairs in index order.
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  T default_;
+  std::map<std::size_t, T> entries_;
+};
+
+}  // namespace ocsp::util

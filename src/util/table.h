@@ -1,0 +1,46 @@
+// ASCII table printer for the benchmark harness.
+//
+// Each bench binary reproduces one paper figure/claim and prints its series
+// as an aligned table before google-benchmark's own output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ocsp::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <typename... Args>
+  void row(const Args&... args) {
+    add_row({to_cell(args)...});
+  }
+
+  /// Render with column alignment; includes a header separator.
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(bool b) { return b ? "yes" : "no"; }
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    return format_number(static_cast<double>(v));
+  }
+  static std::string format_number(double v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ocsp::util

@@ -1,0 +1,123 @@
+// Happens-before validation of committed traces: hand-built positive and
+// negative cases for the checker itself, then every canonical workload's
+// optimistic committed trace — including the heavy-rollback scenarios —
+// must pass it.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+#include "trace/causality.h"
+
+namespace ocsp {
+namespace {
+
+using trace::CommittedTrace;
+using trace::ObservableEvent;
+
+ObservableEvent mk(ObservableEvent::Kind kind, ProcessId p, ProcessId peer,
+                   std::string op, csp::Value data) {
+  ObservableEvent e;
+  e.kind = kind;
+  e.process = p;
+  e.peer = peer;
+  e.op = std::move(op);
+  e.data = std::move(data);
+  return e;
+}
+
+TEST(Causality, AcceptsSimpleExchange) {
+  CommittedTrace t;
+  t.append(mk(ObservableEvent::Kind::kSend, 0, 1, "Hi", csp::Value(1)));
+  t.append(mk(ObservableEvent::Kind::kReceive, 1, 0, "Hi", csp::Value(1)));
+  t.append(mk(ObservableEvent::Kind::kSend, 1, 0, "Yo", csp::Value(2)));
+  t.append(mk(ObservableEvent::Kind::kReceive, 0, 1, "Yo", csp::Value(2)));
+  auto report = trace::check_causality(t);
+  EXPECT_TRUE(report) << report.why;
+  EXPECT_EQ(report.matched_messages, 2u);
+}
+
+TEST(Causality, RejectsDanglingReceive) {
+  CommittedTrace t;
+  t.append(mk(ObservableEvent::Kind::kReceive, 1, 0, "Hi", csp::Value(1)));
+  auto report = trace::check_causality(t);
+  EXPECT_FALSE(report);
+  EXPECT_NE(report.why.find("no progress"), std::string::npos);
+}
+
+TEST(Causality, RejectsPayloadMismatch) {
+  CommittedTrace t;
+  t.append(mk(ObservableEvent::Kind::kSend, 0, 1, "Hi", csp::Value(1)));
+  t.append(mk(ObservableEvent::Kind::kReceive, 1, 0, "Hi", csp::Value(2)));
+  auto report = trace::check_causality(t);
+  EXPECT_FALSE(report);
+  EXPECT_NE(report.why.find("does not match"), std::string::npos);
+}
+
+TEST(Causality, RejectsCrossCycle) {
+  // P0 receives from P1 before sending to it, and vice versa: a cycle.
+  CommittedTrace t;
+  t.append(mk(ObservableEvent::Kind::kReceive, 0, 1, "B", csp::Value(2)));
+  t.append(mk(ObservableEvent::Kind::kSend, 0, 1, "A", csp::Value(1)));
+  t.append(mk(ObservableEvent::Kind::kReceive, 1, 0, "A", csp::Value(1)));
+  t.append(mk(ObservableEvent::Kind::kSend, 1, 0, "B", csp::Value(2)));
+  auto report = trace::check_causality(t);
+  EXPECT_FALSE(report);
+}
+
+TEST(Causality, LocalEventsCounted) {
+  CommittedTrace t;
+  t.append(mk(ObservableEvent::Kind::kExternalOutput, 0, kNoProcess, "",
+              csp::Value("x")));
+  t.append(mk(ObservableEvent::Kind::kCallReturn, 0, 1, "", csp::Value(1)));
+  auto report = trace::check_causality(t);
+  EXPECT_TRUE(report) << report.why;
+  EXPECT_EQ(report.local_events, 2u);
+}
+
+// ---- Every workload's committed optimistic trace is causally sound -------
+
+void expect_causal(const baseline::Scenario& scenario) {
+  auto result = baseline::run_scenario(scenario, true, sim::seconds(60));
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  auto report = trace::check_causality(result.trace);
+  EXPECT_TRUE(report) << report.why;
+  EXPECT_GT(report.matched_messages, 0u);
+}
+
+TEST(Causality, PutLineWithFaults) {
+  core::PutLineParams p;
+  p.lines = 10;
+  p.fail_probability = 0.3;
+  expect_causal(core::putline_scenario(p));
+}
+
+TEST(Causality, WriteThroughTimeFault) {
+  core::WriteThroughParams p;
+  p.force_fault = true;
+  p.transactions = 3;
+  expect_causal(core::write_through_scenario(p));
+}
+
+TEST(Causality, MutualCycleAfterConvergence) {
+  core::MutualParams p;
+  p.crossing = true;
+  expect_causal(core::mutual_scenario(p));
+}
+
+TEST(Causality, RelayPipeline) {
+  core::PipelineParams p;
+  p.calls = 6;
+  p.chain_depth = 3;
+  p.stream_relays = true;
+  expect_causal(core::pipeline_scenario(p));
+}
+
+TEST(Causality, ReplayStrategyRuns) {
+  core::DbFsParams p;
+  p.transactions = 6;
+  p.update_fail_probability = 0.5;
+  p.spec.rollback = spec::RollbackStrategy::kReplayFromLog;
+  expect_causal(core::db_fs_scenario(p));
+}
+
+}  // namespace
+}  // namespace ocsp

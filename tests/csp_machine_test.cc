@@ -1,0 +1,375 @@
+// Unit tests for the expression language and the checkpointable step
+// interpreter — the substrate property the speculation layer relies on:
+// a Machine is a value, a checkpoint is a copy, a rollback is an
+// assignment.
+#include <gtest/gtest.h>
+
+#include "csp/machine.h"
+#include "csp/service.h"
+
+namespace ocsp::csp {
+namespace {
+
+Machine make(StmtPtr program, Env env = {}) {
+  return Machine(std::move(program), std::move(env), util::Rng(7));
+}
+
+// ---- Expressions ------------------------------------------------------------
+
+TEST(Expr, ConstAndVar) {
+  Env env;
+  env.set("x", Value(5));
+  EXPECT_EQ(lit(Value(3))->eval(env), Value(3));
+  EXPECT_EQ(var("x")->eval(env), Value(5));
+}
+
+TEST(Expr, Arithmetic) {
+  Env env;
+  EXPECT_EQ(add(lit(Value(2)), lit(Value(3)))->eval(env), Value(5));
+  EXPECT_EQ(sub(lit(Value(2)), lit(Value(3)))->eval(env), Value(-1));
+  EXPECT_EQ(mul(lit(Value(2)), lit(Value(3)))->eval(env), Value(6));
+  EXPECT_EQ(div_(lit(Value(7)), lit(Value(2)))->eval(env), Value(3));
+  EXPECT_EQ(mod(lit(Value(7)), lit(Value(4)))->eval(env), Value(3));
+  EXPECT_EQ(neg(lit(Value(5)))->eval(env), Value(-5));
+}
+
+TEST(Expr, Comparisons) {
+  Env env;
+  EXPECT_EQ(eq(lit(Value(1)), lit(Value(1)))->eval(env), Value(true));
+  EXPECT_EQ(ne(lit(Value(1)), lit(Value(2)))->eval(env), Value(true));
+  EXPECT_EQ(lt(lit(Value(1)), lit(Value(2)))->eval(env), Value(true));
+  EXPECT_EQ(le(lit(Value(2)), lit(Value(2)))->eval(env), Value(true));
+  EXPECT_EQ(gt(lit(Value(3)), lit(Value(2)))->eval(env), Value(true));
+  EXPECT_EQ(ge(lit(Value(1)), lit(Value(2)))->eval(env), Value(false));
+}
+
+TEST(Expr, LogicShortCircuits) {
+  Env env;  // "boom" is unbound: evaluating it would abort
+  EXPECT_EQ(and_(lit(Value(false)), var("boom"))->eval(env), Value(false));
+  EXPECT_EQ(or_(lit(Value(true)), var("boom"))->eval(env), Value(true));
+  EXPECT_EQ(not_(lit(Value(0)))->eval(env), Value(true));
+}
+
+TEST(Expr, ListAndIndex) {
+  Env env;
+  env.set("l", Value(ValueList{Value(10), Value(20)}));
+  EXPECT_EQ(index(var("l"), lit(Value(1)))->eval(env), Value(20));
+  EXPECT_EQ(list_of({lit(Value(1)), lit(Value(2))})->eval(env),
+            Value(ValueList{Value(1), Value(2)}));
+}
+
+TEST(Expr, CollectReads) {
+  std::set<std::string> reads;
+  add(var("a"), mul(var("b"), lit(Value(2))))->collect_reads(reads);
+  EXPECT_EQ(reads, (std::set<std::string>{"a", "b"}));
+}
+
+// ---- Machine basics ------------------------------------------------------------
+
+TEST(Machine, AssignSeqIfWhile) {
+  auto prog = seq({
+      assign("x", lit(Value(0))),
+      while_(lt(var("x"), lit(Value(5))),
+             assign("x", add(var("x"), lit(Value(1))))),
+      if_(eq(var("x"), lit(Value(5))), assign("y", lit(Value("five"))),
+          assign("y", lit(Value("other")))),
+  });
+  Machine m = make(prog);
+  Effect e = m.step();
+  EXPECT_EQ(e.kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("x"), Value(5));
+  EXPECT_EQ(m.env().get("y"), Value("five"));
+  EXPECT_TRUE(m.done());
+}
+
+TEST(Machine, IfWithoutElse) {
+  auto prog = seq({
+      assign("x", lit(Value(1))),
+      if_(lit(Value(false)), assign("x", lit(Value(2)))),
+  });
+  Machine m = make(prog);
+  m.step();
+  EXPECT_EQ(m.env().get("x"), Value(1));
+}
+
+TEST(Machine, CallEffectPausesAndResumes) {
+  auto prog = seq({
+      call("S", "Op", {lit(Value(1)), lit(Value(2))}, "r"),
+      assign("after", var("r")),
+  });
+  Machine m = make(prog);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kCall);
+  EXPECT_EQ(e.target, "S");
+  EXPECT_EQ(e.op, "Op");
+  EXPECT_EQ(e.args, (ValueList{Value(1), Value(2)}));
+  EXPECT_EQ(m.state(), MachineState::kAwaitReply);
+  m.resume_with_value(Value(42));
+  e = m.step();
+  EXPECT_EQ(e.kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("after"), Value(42));
+}
+
+TEST(Machine, SendDoesNotBlock) {
+  auto prog = seq({
+      send("S", "Ping", {lit(Value(1))}),
+      assign("x", lit(Value(9))),
+  });
+  Machine m = make(prog);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kSend);
+  EXPECT_EQ(m.state(), MachineState::kReady);
+  e = m.step();
+  EXPECT_EQ(e.kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("x"), Value(9));
+}
+
+TEST(Machine, ReceiveBindsRequestMetadata) {
+  auto prog = seq({
+      receive(),
+      assign("sum", add(arg(0), arg(1))),
+      reply(var("sum")),
+  });
+  Machine m = make(prog);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kReceive);
+  m.deliver("Add", {Value(3), Value(4)}, /*caller=*/5, /*reqid=*/77,
+            /*is_call=*/true);
+  e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kReply);
+  EXPECT_EQ(e.value, Value(7));
+  EXPECT_EQ(e.reply_caller, 5);
+  EXPECT_EQ(e.reply_reqid, 77);
+  EXPECT_EQ(m.env().get("__op"), Value("Add"));
+  EXPECT_EQ(m.env().get("__is_call"), Value(true));
+}
+
+TEST(Machine, ComputeEffectCarriesDuration) {
+  Machine m = make(seq({compute(1234), assign("x", lit(Value(1)))}));
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kCompute);
+  EXPECT_EQ(e.duration, 1234);
+  EXPECT_EQ(m.state(), MachineState::kAwaitCompute);
+  m.resume();
+  EXPECT_EQ(m.step().kind, Effect::Kind::kDone);
+}
+
+TEST(Machine, PrintEffect) {
+  Machine m = make(seq({print(lit(Value("hello")))}));
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kPrint);
+  EXPECT_EQ(e.value, Value("hello"));
+}
+
+TEST(Machine, NativeMutatesEnv) {
+  auto prog = seq({
+      native("bump", [](Env& env, util::Rng&) { env.set("n", Value(1)); }),
+  });
+  Machine m = make(prog);
+  m.step();
+  EXPECT_EQ(m.env().get("n"), Value(1));
+}
+
+TEST(Machine, HintBehavesAsNop) {
+  Machine m = make(seq({hint({}, "site"), assign("x", lit(Value(1)))}));
+  EXPECT_EQ(m.step().kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("x"), Value(1));
+}
+
+// ---- Fork handling ------------------------------------------------------------
+
+std::shared_ptr<const ForkStmt> simple_fork() {
+  std::map<std::string, PredictorSpec> preds;
+  preds.emplace("a", PredictorSpec::always(Value(1)));
+  return fork(assign("a", lit(Value(1))),        // left: S1
+              assign("b", add(var("a"), var("a"))),  // right: S2
+              {"a"}, std::move(preds), "site");
+}
+
+TEST(Machine, ForkEffectAndLeftBranch) {
+  auto prog = seq({simple_fork(), assign("tail", lit(Value(1)))});
+  Machine m = make(prog);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kFork);
+  ASSERT_NE(e.fork, nullptr);
+  EXPECT_EQ(m.state(), MachineState::kAtFork);
+
+  Machine right = m;  // copy while paused at the fork
+  m.take_fork_branch(true);
+  EXPECT_EQ(m.step().kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("a"), Value(1));
+  // Left thread never runs the continuation.
+  EXPECT_FALSE(m.env().has("tail"));
+
+  right.take_fork_branch(false);
+  right.env().set("a", Value(10));  // the guessed value
+  EXPECT_EQ(right.step().kind, Effect::Kind::kDone);
+  EXPECT_EQ(right.env().get("b"), Value(20));
+  // Right thread does run the continuation.
+  EXPECT_EQ(right.env().get("tail"), Value(1));
+}
+
+TEST(Machine, ForkSequentialRunsLeftThenRightThenTail) {
+  auto prog = seq({simple_fork(), assign("tail", var("b"))});
+  Machine m = make(prog);
+  ASSERT_EQ(m.step().kind, Effect::Kind::kFork);
+  m.take_fork_sequential();
+  EXPECT_EQ(m.step().kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("a"), Value(1));
+  EXPECT_EQ(m.env().get("b"), Value(2));
+  EXPECT_EQ(m.env().get("tail"), Value(2));
+}
+
+// ---- Checkpoint / rollback ------------------------------------------------------------
+
+TEST(Machine, CopyCheckpointRestoresMidExecution) {
+  auto prog = seq({
+      assign("x", lit(Value(1))),
+      call("S", "Op", {}, "r"),
+      assign("x", add(var("x"), var("r"))),
+      call("S", "Op2", {}, "r2"),
+      assign("x", add(var("x"), var("r2"))),
+  });
+  Machine m = make(prog);
+  ASSERT_EQ(m.step().kind, Effect::Kind::kCall);
+  Machine checkpoint = m;  // paused at first call
+  m.resume_with_value(Value(10));
+  ASSERT_EQ(m.step().kind, Effect::Kind::kCall);
+  m.resume_with_value(Value(100));
+  ASSERT_EQ(m.step().kind, Effect::Kind::kDone);
+  EXPECT_EQ(m.env().get("x"), Value(111));
+
+  // Roll back and replay with different values.
+  m = checkpoint;
+  EXPECT_EQ(m.state(), MachineState::kAwaitReply);
+  m.resume_with_value(Value(20));
+  ASSERT_EQ(m.step().kind, Effect::Kind::kCall);
+  m.resume_with_value(Value(200));
+  m.step();
+  EXPECT_EQ(m.env().get("x"), Value(221));
+}
+
+TEST(Machine, RngIsPartOfCheckpointedState) {
+  auto prog = seq({
+      native("draw", [](Env& env, util::Rng& rng) {
+        env.set("d", Value(static_cast<std::int64_t>(rng.next() % 1000)));
+      }),
+  });
+  Machine m = make(seq({compute(1), prog}));
+  ASSERT_EQ(m.step().kind, Effect::Kind::kCompute);
+  Machine checkpoint = m;
+  m.resume();
+  m.step();
+  const Value first = m.env().get("d");
+  Machine replay = checkpoint;
+  replay.resume();
+  replay.step();
+  EXPECT_EQ(replay.env().get("d"), first);
+}
+
+TEST(Machine, EmptyMachineIsDone) {
+  Machine m;
+  EXPECT_TRUE(m.done());
+}
+
+TEST(Machine, DepthReflectsNesting) {
+  auto prog = seq({while_(lit(Value(false)), nop())});
+  Machine m = make(prog);
+  EXPECT_GT(m.depth(), 0u);
+  m.step();
+  EXPECT_EQ(m.depth(), 0u);
+}
+
+// ---- Service builders ------------------------------------------------------------
+
+TEST(Service, NativeServiceRepliesToCall) {
+  std::map<std::string, NativeHandler> handlers;
+  handlers["Double"] = [](const ValueList& args, Env&, util::Rng&) {
+    return Value(args[0].as_int() * 2);
+  };
+  Machine m = make(native_service(std::move(handlers)));
+  ASSERT_EQ(m.step().kind, Effect::Kind::kReceive);
+  m.deliver("Double", {Value(21)}, 3, 9, true);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kReply);
+  EXPECT_EQ(e.value, Value(42));
+  // Loops back to the next receive.
+  EXPECT_EQ(m.step().kind, Effect::Kind::kReceive);
+}
+
+TEST(Service, NativeServiceUnknownOpRepliesDefault) {
+  ServiceConfig config;
+  config.unknown_op_reply = Value("nope");
+  Machine m = make(native_service({}, config));
+  m.step();
+  m.deliver("Mystery", {}, 1, 2, true);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kReply);
+  EXPECT_EQ(e.value, Value("nope"));
+}
+
+TEST(Service, OneWaySendGetsNoReply) {
+  std::map<std::string, NativeHandler> handlers;
+  handlers["Note"] = [](const ValueList&, Env& state, util::Rng&) {
+    state.set("noted", Value(true));
+    return Value();
+  };
+  Machine m = make(native_service(std::move(handlers)));
+  m.step();
+  m.deliver("Note", {}, 1, 2, /*is_call=*/false);
+  Effect e = m.step();
+  EXPECT_EQ(e.kind, Effect::Kind::kReceive);  // straight to the next loop
+  EXPECT_EQ(m.env().get("noted"), Value(true));
+}
+
+TEST(Service, ServiceStateAccumulatesAcrossRequests) {
+  std::map<std::string, NativeHandler> handlers;
+  handlers["Inc"] = [](const ValueList&, Env& state, util::Rng&) {
+    const auto n = state.get_or("n", Value(0)).as_int();
+    state.set("n", Value(n + 1));
+    return Value(n + 1);
+  };
+  Machine m = make(native_service(std::move(handlers)));
+  for (int i = 1; i <= 3; ++i) {
+    m.step();
+    m.deliver("Inc", {}, 1, i, true);
+    Effect e = m.step();
+    ASSERT_EQ(e.kind, Effect::Kind::kReply);
+    EXPECT_EQ(e.value, Value(i));
+  }
+}
+
+TEST(Service, IrServiceLoopDispatches) {
+  std::map<std::string, StmtPtr> handlers;
+  handlers["Neg"] = seq({reply(neg(arg(0)))});
+  Machine m = make(service_loop(std::move(handlers)));
+  m.step();
+  m.deliver("Neg", {Value(5)}, 1, 2, true);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kReply);
+  EXPECT_EQ(e.value, Value(-5));
+}
+
+TEST(Service, EchoServiceRepliesConstant) {
+  Machine m = make(echo_service(Value(1), 0));
+  m.step();
+  m.deliver("Whatever", {}, 1, 2, true);
+  Effect e = m.step();
+  ASSERT_EQ(e.kind, Effect::Kind::kReply);
+  EXPECT_EQ(e.value, Value(1));
+}
+
+TEST(Program, ToStringRendersStructure) {
+  auto prog = seq({
+      assign("x", lit(Value(1))),
+      if_(var("x"), print(var("x"))),
+      while_(lit(Value(false)), nop()),
+  });
+  const std::string s = to_string(prog);
+  EXPECT_NE(s.find("x = 1"), std::string::npos);
+  EXPECT_NE(s.find("if x"), std::string::npos);
+  EXPECT_NE(s.find("while"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocsp::csp

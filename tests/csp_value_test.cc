@@ -1,0 +1,119 @@
+// Unit tests for csp::Value and csp::Env.
+#include <gtest/gtest.h>
+
+#include "csp/env.h"
+#include "csp/value.h"
+
+namespace ocsp::csp {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_EQ(Value().type(), Value::Type::kNil);
+  EXPECT_EQ(Value(true).type(), Value::Type::kBool);
+  EXPECT_EQ(Value(7).type(), Value::Type::kInt);
+  EXPECT_EQ(Value(1.5).type(), Value::Type::kReal);
+  EXPECT_EQ(Value("hi").type(), Value::Type::kString);
+  EXPECT_EQ(Value(ValueList{Value(1)}).type(), Value::Type::kList);
+
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(1.5).as_real(), 1.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+  EXPECT_EQ(Value(ValueList{Value(1), Value(2)}).as_list().size(), 2u);
+}
+
+TEST(Value, IntPromotesToRealAccessor) {
+  EXPECT_DOUBLE_EQ(Value(3).as_real(), 3.0);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value().truthy());
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_FALSE(Value(0).truthy());
+  EXPECT_FALSE(Value(0.0).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_FALSE(Value(ValueList{}).truthy());
+  EXPECT_TRUE(Value(true).truthy());
+  EXPECT_TRUE(Value(-1).truthy());
+  EXPECT_TRUE(Value("x").truthy());
+  EXPECT_TRUE(Value(ValueList{Value()}).truthy());
+}
+
+TEST(Value, EqualityIsStructural) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_FALSE(Value(3) == Value(4));
+  EXPECT_FALSE(Value(3) == Value(3.0));  // different types
+  EXPECT_EQ(Value(ValueList{Value(1), Value("a")}),
+            Value(ValueList{Value(1), Value("a")}));
+}
+
+TEST(Value, CompareNumericAndMixed) {
+  EXPECT_LT(Value::compare(Value(1), Value(2)), 0);
+  EXPECT_GT(Value::compare(Value(5), Value(2)), 0);
+  EXPECT_EQ(Value::compare(Value(3), Value(3)), 0);
+  EXPECT_LT(Value::compare(Value(1), Value(1.5)), 0);  // int vs real
+  EXPECT_LT(Value::compare(Value("abc"), Value("abd")), 0);
+}
+
+TEST(Value, Arithmetic) {
+  EXPECT_EQ(value_add(Value(2), Value(3)), Value(5));
+  EXPECT_EQ(value_add(Value("a"), Value("b")), Value("ab"));
+  EXPECT_EQ(value_sub(Value(5), Value(3)), Value(2));
+  EXPECT_EQ(value_mul(Value(4), Value(3)), Value(12));
+  EXPECT_EQ(value_div(Value(7), Value(2)), Value(3));
+  EXPECT_EQ(value_mod(Value(7), Value(3)), Value(1));
+  EXPECT_EQ(value_add(Value(1), Value(0.5)), Value(1.5));
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value().to_string(), "nil");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("x").to_string(), "\"x\"");
+  EXPECT_EQ(Value(ValueList{Value(1), Value(2)}).to_string(), "[1, 2]");
+}
+
+TEST(Env, SetGetHasErase) {
+  Env env;
+  EXPECT_FALSE(env.has("x"));
+  env.set("x", Value(1));
+  EXPECT_TRUE(env.has("x"));
+  EXPECT_EQ(env.get("x"), Value(1));
+  env.set("x", Value(2));
+  EXPECT_EQ(env.get("x"), Value(2));
+  env.erase("x");
+  EXPECT_FALSE(env.has("x"));
+}
+
+TEST(Env, GetOrFallsBack) {
+  Env env;
+  EXPECT_EQ(env.get_or("missing", Value(9)), Value(9));
+  env.set("missing", Value(1));
+  EXPECT_EQ(env.get_or("missing", Value(9)), Value(1));
+}
+
+TEST(Env, CopyIsIndependent) {
+  Env a;
+  a.set("x", Value(1));
+  Env b = a;  // checkpoint
+  a.set("x", Value(2));
+  a.set("y", Value(3));
+  EXPECT_EQ(b.get("x"), Value(1));
+  EXPECT_FALSE(b.has("y"));
+  a = b;  // rollback
+  EXPECT_EQ(a.get("x"), Value(1));
+  EXPECT_FALSE(a.has("y"));
+}
+
+TEST(Env, EqualityAndNames) {
+  Env a, b;
+  a.set("x", Value(1));
+  b.set("x", Value(1));
+  EXPECT_EQ(a, b);
+  b.set("y", Value(2));
+  EXPECT_FALSE(a == b);
+  EXPECT_EQ(b.names(), (std::set<std::string>{"x", "y"}));
+}
+
+}  // namespace
+}  // namespace ocsp::csp

@@ -1,0 +1,83 @@
+// State garbage collection: a long-running server's retained speculative
+// state (checkpoints, replay metadata, input log) must be bounded by the
+// window of in-doubt guesses, not by the length of the run.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+#include "speculation/runtime.h"
+
+namespace ocsp {
+namespace {
+
+core::PutLineParams long_run(int lines,
+                             spec::RollbackStrategy strategy) {
+  core::PutLineParams p;
+  p.lines = lines;
+  p.net.latency = sim::microseconds(200);
+  p.spec.rollback = strategy;
+  return p;
+}
+
+TEST(Gc, ServerCheckpointsBoundedUnderCheckpointStrategy) {
+  // Without GC the server would retain one checkpoint per tagged request.
+  auto small = baseline::make_runtime(
+      core::putline_scenario(
+          long_run(16, spec::RollbackStrategy::kCheckpointEveryInterval)),
+      true);
+  small->run(sim::seconds(60));
+  auto large = baseline::make_runtime(
+      core::putline_scenario(
+          long_run(128, spec::RollbackStrategy::kCheckpointEveryInterval)),
+      true);
+  large->run(sim::seconds(60));
+  ASSERT_TRUE(large->process(0).completed());
+  const auto small_cp = small->process(small->find("Y")).checkpoint_count();
+  const auto large_cp = large->process(large->find("Y")).checkpoint_count();
+  // Retained state does not grow with run length (8x the traffic).
+  EXPECT_LE(large_cp, small_cp + 2) << "small=" << small_cp
+                                    << " large=" << large_cp;
+  EXPECT_GT(large->process(large->find("Y")).stats().checkpoints_pruned, 0u);
+}
+
+TEST(Gc, InputLogBoundedUnderReplayStrategy) {
+  auto params = long_run(128, spec::RollbackStrategy::kReplayFromLog);
+  params.spec.replay_checkpoint_every = 8;
+  auto rt = baseline::make_runtime(core::putline_scenario(params), true);
+  rt->run(sim::seconds(60));
+  ASSERT_TRUE(rt->process(0).completed());
+  const auto& server = rt->process(rt->find("Y"));
+  // All guesses resolved: at most one checkpoint period of log remains.
+  EXPECT_LT(server.input_log_size(), 20u);
+  EXPECT_GT(server.stats().log_entries_pruned, 64u);
+}
+
+TEST(Gc, PruningNeverBreaksRollback) {
+  // Mix GC pressure with faults: rollbacks must still find their state.
+  for (auto strategy : {spec::RollbackStrategy::kCheckpointEveryInterval,
+                        spec::RollbackStrategy::kReplayFromLog}) {
+    core::PutLineParams p = long_run(64, strategy);
+    p.fail_probability = 0.05;
+    auto scenario = core::putline_scenario(p);
+    auto pess = baseline::run_scenario(scenario, false, sim::seconds(60));
+    auto opt = baseline::run_scenario(scenario, true, sim::seconds(60));
+    ASSERT_TRUE(opt.all_completed) << opt.stats.to_string();
+    std::string why;
+    EXPECT_TRUE(trace::compare_traces(pess.trace, opt.trace, &why)) << why;
+  }
+}
+
+TEST(Gc, ClientStateAlsoPruned) {
+  auto rt = baseline::make_runtime(
+      core::putline_scenario(
+          long_run(128, spec::RollbackStrategy::kCheckpointEveryInterval)),
+      true);
+  rt->run(sim::seconds(60));
+  ASSERT_TRUE(rt->process(0).completed());
+  // The client created 128 speculative threads; once everything committed,
+  // the dead threads' checkpoints are pruned and only the live tail stays.
+  EXPECT_LT(rt->process(0).checkpoint_count(), 8u);
+  EXPECT_GT(rt->process(0).stats().checkpoints_pruned, 100u);
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -1,0 +1,88 @@
+// Integration tests for the paper's running example (section 2, Figure 1):
+// S1 = Update on a database server, S2 = Write to a filesystem server
+// guarded by the OK flag, parallelized through an explicit hint.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace ocsp {
+namespace {
+
+core::DbFsParams base_params() {
+  core::DbFsParams p;
+  p.transactions = 4;
+  p.net.latency = sim::microseconds(400);
+  p.db_service_time = sim::microseconds(20);
+  p.fs_service_time = sim::microseconds(20);
+  return p;
+}
+
+TEST(DbFsIntegration, SuccessPathCommitsEveryGuess) {
+  auto result =
+      baseline::run_scenario(core::db_fs_scenario(base_params()), true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_EQ(result.stats.forks, 4u);
+  EXPECT_EQ(result.stats.commits, 4u);
+  EXPECT_EQ(result.stats.total_aborts(), 0u);
+}
+
+TEST(DbFsIntegration, TraceMatchesPessimistic) {
+  auto scenario = core::db_fs_scenario(base_params());
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+}
+
+TEST(DbFsIntegration, OverlapsUpdateAndWrite) {
+  auto scenario = core::db_fs_scenario(base_params());
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(optimistic.all_completed);
+  // The speculative Write overlaps the Update round trip: the optimistic
+  // run should save most of one round trip per transaction.
+  EXPECT_LT(optimistic.last_completion, pessimistic.last_completion);
+  EXPECT_LT(optimistic.last_completion * 3,
+            pessimistic.last_completion * 2);
+}
+
+TEST(DbFsIntegration, UpdateFailureAbortsSpeculativeWrite) {
+  auto params = base_params();
+  params.update_fail_probability = 0.5;
+  auto scenario = core::db_fs_scenario(params);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  EXPECT_GT(optimistic.stats.aborts_value_fault, 0u)
+      << optimistic.stats.to_string();
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why << "\npessimistic:\n"
+      << pessimistic.trace.to_string() << "optimistic:\n"
+      << optimistic.trace.to_string();
+}
+
+TEST(DbFsIntegration, FilesystemNeverSeesAbortedWrites) {
+  // With every update failing, no Write must ever commit.
+  auto params = base_params();
+  params.update_fail_probability = 1.0;
+  auto result = baseline::run_scenario(core::db_fs_scenario(params), true);
+  ASSERT_TRUE(result.all_completed);
+  for (ProcessId id : {ProcessId{0}, ProcessId{1}, ProcessId{2}}) {
+    for (const auto& e : result.trace.for_process(id)) {
+      if (e.kind == trace::ObservableEvent::Kind::kReceive) {
+        EXPECT_NE(e.op, "Write") << trace::to_string(e);
+      }
+    }
+  }
+  EXPECT_EQ(result.stats.aborts_value_fault, 4u);
+}
+
+}  // namespace
+}  // namespace ocsp

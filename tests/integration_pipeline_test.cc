@@ -1,0 +1,123 @@
+// Integration tests for deep call streaming through a chain of relays
+// (the right-branching fork structure of section 3.2 at depth) and for the
+// shared-server workload (independent clients, partial order).
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace ocsp {
+namespace {
+
+TEST(PipelineIntegration, StreamedPipelineCompletesAndCommits) {
+  core::PipelineParams p;
+  p.calls = 6;
+  p.chain_depth = 3;
+  p.net.latency = sim::microseconds(200);
+  auto result = baseline::run_scenario(core::pipeline_scenario(p), true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_EQ(result.stats.forks, 6u);
+  EXPECT_EQ(result.stats.commits, 6u);
+  EXPECT_EQ(result.stats.total_aborts(), 0u) << result.stats.to_string();
+}
+
+TEST(PipelineIntegration, TraceMatchesPessimistic) {
+  core::PipelineParams p;
+  p.calls = 5;
+  p.chain_depth = 2;
+  p.net.latency = sim::microseconds(150);
+  auto scenario = core::pipeline_scenario(p);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+}
+
+TEST(PipelineIntegration, DeeperChainsStillWin) {
+  for (int depth : {1, 2, 4}) {
+    core::PipelineParams p;
+    p.calls = 6;
+    p.chain_depth = depth;
+    p.net.latency = sim::microseconds(300);
+    auto scenario = core::pipeline_scenario(p);
+    auto pess = baseline::run_scenario(scenario, false);
+    auto opt = baseline::run_scenario(scenario, true);
+    ASSERT_TRUE(pess.all_completed) << "depth " << depth;
+    ASSERT_TRUE(opt.all_completed)
+        << "depth " << depth << " " << opt.stats.to_string();
+    EXPECT_LT(opt.last_completion, pess.last_completion) << "depth " << depth;
+  }
+}
+
+TEST(PipelineIntegration, RelayStreamingChainsGuessesWithoutAborts) {
+  core::PipelineParams p;
+  p.calls = 8;
+  p.chain_depth = 4;
+  p.net.latency = sim::microseconds(500);
+  p.stream_relays = true;
+  auto scenario = core::pipeline_scenario(p);
+  auto result = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  // Client forks plus one fork per relay per request.
+  EXPECT_EQ(result.stats.forks, 8u * 4u);
+  EXPECT_EQ(result.stats.total_aborts(), 0u) << result.stats.to_string();
+  // The transitive dependencies force PRECEDENCE publications.
+  EXPECT_GT(result.stats.precedence_sent, 0u);
+  auto pess = baseline::run_scenario(scenario, false);
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(pess.trace, result.trace, &why)) << why;
+}
+
+TEST(PipelineIntegration, RelayStreamingBeatsClientOnlyAtDepth) {
+  auto run = [](bool relays) {
+    core::PipelineParams p;
+    p.calls = 10;
+    p.chain_depth = 6;
+    p.net.latency = sim::microseconds(400);
+    p.stream_relays = relays;
+    return baseline::run_scenario(core::pipeline_scenario(p), true);
+  };
+  auto client_only = run(false);
+  auto full = run(true);
+  ASSERT_TRUE(client_only.all_completed);
+  ASSERT_TRUE(full.all_completed) << full.stats.to_string();
+  EXPECT_LT(full.last_completion, client_only.last_completion);
+}
+
+TEST(SharedServerIntegration, TwoClientsCompleteAndMatchTraces) {
+  core::SharedServerParams p;
+  p.clients = 2;
+  p.calls_per_client = 5;
+  p.net.latency = sim::microseconds(200);
+  auto scenario = core::shared_server_scenario(p);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed) << optimistic.stats.to_string();
+  // The clients are independent: per-client observable sequences must be
+  // identical even if the server saw a different interleaving.
+  for (ProcessId c : {ProcessId{0}, ProcessId{1}}) {
+    EXPECT_EQ(pessimistic.trace.for_process(c).size(),
+              optimistic.trace.for_process(c).size());
+  }
+}
+
+TEST(SharedServerIntegration, PartialOrderNeedsNoRollbacks) {
+  // The two clients' request streams are causally unrelated; whichever
+  // interleaving the server happens to see is legal, so no rollbacks
+  // should occur (contrast with Time Warp's total order — bench C6).
+  core::SharedServerParams p;
+  p.clients = 3;
+  p.calls_per_client = 4;
+  p.net.latency = sim::microseconds(150);
+  auto result = baseline::run_scenario(core::shared_server_scenario(p), true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_EQ(result.stats.rollbacks, 0u) << result.stats.to_string();
+  EXPECT_EQ(result.stats.total_aborts(), 0u);
+}
+
+}  // namespace
+}  // namespace ocsp

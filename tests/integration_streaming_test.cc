@@ -1,0 +1,87 @@
+// Integration tests for call streaming: the scenarios of Figures 1-3.
+//
+// The PutLine workload runs (a) pessimistically — every call blocks for its
+// return, reproducing Figure 2's serial time line — and (b) optimistically
+// with call streaming, reproducing Figure 3.  The tests assert the three
+// things the paper claims: the committed traces are identical (Theorem 1),
+// the streamed run commits one guess per streamed call with no aborts, and
+// the streamed run finishes earlier by roughly the hidden round trips.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace ocsp {
+namespace {
+
+core::PutLineParams base_params() {
+  core::PutLineParams p;
+  p.lines = 8;
+  p.net.latency = sim::microseconds(500);
+  p.service_time = sim::microseconds(10);
+  p.client_compute = sim::microseconds(5);
+  return p;
+}
+
+TEST(StreamingIntegration, PessimisticBaselineCompletes) {
+  auto result =
+      baseline::run_scenario(core::putline_scenario(base_params()), false);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(result.stats.total_aborts(), 0u);
+  EXPECT_EQ(result.stats.rollbacks, 0u);
+  // 8 round trips of ~1ms plus service and compute time.
+  EXPECT_GE(result.last_completion, sim::microseconds(8000));
+}
+
+TEST(StreamingIntegration, OptimisticRunCompletes) {
+  auto result =
+      baseline::run_scenario(core::putline_scenario(base_params()), true);
+  EXPECT_TRUE(result.all_completed);
+  EXPECT_EQ(result.stats.total_aborts(), 0u) << result.stats.to_string();
+  // One fork per streamed call; each commits.
+  EXPECT_EQ(result.stats.forks, 8u);
+  EXPECT_EQ(result.stats.commits, 8u);
+}
+
+TEST(StreamingIntegration, TracesMatchTheorem1) {
+  auto scenario = core::putline_scenario(base_params());
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+  EXPECT_GT(pessimistic.trace.total_events(), 0u);
+}
+
+TEST(StreamingIntegration, StreamingHidesRoundTrips) {
+  auto scenario = core::putline_scenario(base_params());
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  // Figure 2 pays 8 full round trips; Figure 3 pays roughly one.  Require
+  // at least a 3x improvement at this latency/compute ratio.
+  EXPECT_LT(optimistic.last_completion * 3, pessimistic.last_completion)
+      << "optimistic=" << optimistic.last_completion
+      << " pessimistic=" << pessimistic.last_completion;
+}
+
+TEST(StreamingIntegration, ValueFaultRollsBackAndMatchesTrace) {
+  auto params = base_params();
+  params.lines = 6;
+  params.fail_probability = 0.5;  // deterministic seeded stream
+  auto scenario = core::putline_scenario(params);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why << "\npessimistic:\n"
+      << pessimistic.trace.to_string() << "\noptimistic:\n"
+      << optimistic.trace.to_string();
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -1,0 +1,78 @@
+// Integration tests for the time-fault scenario of Figures 4 and 5:
+// X updates server Y (which writes through to Z) and speculatively writes
+// to Z directly; when the direct write overtakes the propagation, the
+// happens-before cycle is detected, x1 aborts, Z and Y roll back, and the
+// whole computation re-executes in the correct order.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace ocsp {
+namespace {
+
+core::WriteThroughParams base_params(bool fault) {
+  core::WriteThroughParams p;
+  p.force_fault = fault;
+  p.net.latency = sim::microseconds(100);
+  p.service_time = sim::microseconds(10);
+  return p;
+}
+
+TEST(TimeFaultIntegration, NoFaultWhenOrderingHolds) {
+  auto result =
+      baseline::run_scenario(core::write_through_scenario(base_params(false)),
+                             true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_EQ(result.stats.total_aborts(), 0u) << result.stats.to_string();
+  EXPECT_EQ(result.stats.commits, 1u);
+}
+
+TEST(TimeFaultIntegration, Fig4CycleDetectedAndAborted) {
+  auto result = baseline::run_scenario(
+      core::write_through_scenario(base_params(true)), true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_GE(result.stats.aborts_time_fault, 1u) << result.stats.to_string();
+  // Figure 5: Z (and Y) rolled back, the write re-executed.
+  EXPECT_GE(result.stats.rollbacks, 1u);
+  EXPECT_GE(result.stats.orphans_discarded, 1u);
+}
+
+TEST(TimeFaultIntegration, Fig5ReexecutionMatchesPessimisticTrace) {
+  auto scenario = core::write_through_scenario(base_params(true));
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why << "\npessimistic:\n"
+      << pessimistic.trace.to_string() << "optimistic:\n"
+      << optimistic.trace.to_string();
+}
+
+TEST(TimeFaultIntegration, RepeatedTransactionsStayCorrect) {
+  auto params = base_params(true);
+  params.transactions = 3;
+  auto scenario = core::write_through_scenario(params);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed) << optimistic.stats.to_string();
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+}
+
+TEST(TimeFaultIntegration, MessageRedeliveryHappens) {
+  // Figure 5's annotation: "Z must re-read message C2 after rolling back".
+  auto result = baseline::run_scenario(
+      core::write_through_scenario(base_params(true)), true);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_GE(result.stats.messages_redelivered, 1u)
+      << result.stats.to_string();
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -1,0 +1,142 @@
+// Liveness machinery of section 3.3: the left-thread timeout, the retry
+// limit L with pessimistic fallback, and the control-plane retry needed on
+// lossy links ("the broadcast must be live in the sense that if repeated
+// broadcasts are made, a message will eventually be delivered").
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+#include "speculation/messages.h"
+#include "transform/transform.h"
+
+namespace ocsp {
+namespace {
+
+using csp::lit;
+using csp::Value;
+using csp::var;
+
+// A client whose streamed call is *always* mispredicted: the echo server
+// returns the argument, the predictor insists on -1.
+baseline::Scenario always_wrong_scenario(int calls, int retry_limit) {
+  csp::StmtPtr client = csp::seq({
+      csp::assign("i", lit(Value(0))),
+      csp::assign("r", lit(Value(0))),
+      csp::while_(csp::lt(var("i"), lit(Value(calls))),
+                  csp::seq({
+                      csp::call("S", "Echo", {var("i")}, "r"),
+                      csp::assign("i", csp::add(var("i"), lit(Value(1)))),
+                  })),
+      csp::print(csp::list_of({lit(Value("done")), var("r")})),
+  });
+  transform::StreamingOptions opts;
+  opts.predictor = [](const csp::CallStmt&) {
+    return csp::PredictorSpec::always(Value(-1));
+  };
+  client = transform::stream_calls(client, opts).program;
+
+  std::map<std::string, csp::NativeHandler> handlers;
+  handlers["Echo"] = [](const csp::ValueList& args, csp::Env&, util::Rng&) {
+    return args[0];
+  };
+  csp::ServiceConfig sc;
+  sc.service_time = sim::microseconds(10);
+
+  baseline::Scenario scenario;
+  scenario.options.default_link.latency =
+      net::fixed_latency(sim::microseconds(100));
+  scenario.options.spec.retry_limit = retry_limit;
+  scenario.add("X", std::move(client));
+  scenario.add("S", csp::native_service(std::move(handlers), sc));
+  return scenario;
+}
+
+TEST(Liveness, RetryLimitFallsBackToPessimistic) {
+  auto scenario = always_wrong_scenario(10, /*retry_limit=*/2);
+  auto result = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  // Every speculative attempt value-faults; after L=2 consecutive aborts
+  // the site must execute pessimistically.
+  EXPECT_GE(result.stats.aborts_value_fault, 2u);
+  EXPECT_GE(result.stats.sequential_forks, 6u) << result.stats.to_string();
+}
+
+TEST(Liveness, RetryLimitPreservesTrace) {
+  auto scenario = always_wrong_scenario(6, 1);
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+}
+
+TEST(Liveness, SlowServerTriggersForkTimeoutAbort) {
+  core::PutLineParams p;
+  p.lines = 2;
+  p.net.latency = sim::microseconds(100);
+  p.service_time = sim::milliseconds(20);  // reply far beyond the timeout
+  p.spec.fork_timeout = sim::milliseconds(5);
+  auto scenario = core::putline_scenario(p);
+  auto result = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_GE(result.stats.aborts_timeout, 1u) << result.stats.to_string();
+  // Trace must still match the sequential run.
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(pessimistic.trace, result.trace, &why))
+      << why;
+}
+
+baseline::Scenario lossy_control_scenario(bool retry) {
+  core::PutLineParams p;
+  p.lines = 5;
+  p.net.latency = sim::microseconds(200);
+  p.spec.control_retry = retry;
+  p.spec.control_retry_interval = sim::milliseconds(2);
+  p.spec.control_retry_limit = 30;
+  // Give up reasonably fast when a guard can never resolve.
+  p.spec.join_wait_timeout = sim::milliseconds(50);
+  auto scenario = core::putline_scenario(p);
+  net::LinkConfig lossy = core::make_link(p.net);
+  lossy.drop_probability = 0.7;
+  lossy.drop_filter = [](const net::Message& m) {
+    return dynamic_cast<const spec::ControlMessage*>(&m) != nullptr;
+  };
+  scenario.links.push_back({"X", "Y", lossy});
+  return scenario;
+}
+
+TEST(Liveness, LossyControlPlaneWithRetryCompletes) {
+  auto scenario = lossy_control_scenario(/*retry=*/true);
+  auto result =
+      baseline::run_scenario(scenario, true, sim::seconds(30));
+  EXPECT_TRUE(result.all_completed) << result.stats.to_string();
+}
+
+TEST(Liveness, LossyControlPlaneRunsStayCorrect) {
+  auto scenario = lossy_control_scenario(/*retry=*/true);
+  auto pessimistic = baseline::run_scenario(scenario, false, sim::seconds(30));
+  auto optimistic = baseline::run_scenario(scenario, true, sim::seconds(30));
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+}
+
+TEST(Liveness, SpeculationDisabledNeverForksSpeculatively) {
+  core::PutLineParams p;
+  p.lines = 4;
+  auto result = baseline::run_scenario(core::putline_scenario(p), false);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_EQ(result.stats.sequential_forks, result.stats.forks);
+  EXPECT_EQ(result.stats.checkpoints, 0u + result.stats.checkpoints);
+  EXPECT_EQ(result.stats.commits, 0u);
+  EXPECT_EQ(result.stats.control_sent, 0u);
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -1,0 +1,154 @@
+// Tests for the two rollback strategies of section 4.1.3.
+//
+// "A process may take a state checkpoint at each point prior to acquiring
+// a new commit guard predicate [Time Warp style] ... Alternatively, a
+// process may take less frequent checkpoints, and log input messages,
+// restoring the state by resuming from the checkpoint and replaying the
+// logged messages [Optimistic Recovery style].  The particular technique
+// used for rollback is a performance tuning decision and does not affect
+// the correctness of the transformation."
+//
+// These tests are that last sentence, executed: every workload must
+// produce identical committed traces under both strategies, while the
+// replay strategy takes measurably fewer checkpoints.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace ocsp {
+namespace {
+
+template <typename Params>
+baseline::Scenario with_strategy(Params params, spec::RollbackStrategy s,
+                                 auto builder) {
+  params.spec.rollback = s;
+  return builder(params);
+}
+
+struct StrategyOutcome {
+  baseline::RunResult checkpointing;
+  baseline::RunResult replaying;
+};
+
+template <typename Params>
+StrategyOutcome run_both_strategies(Params params, auto builder) {
+  params.spec.rollback = spec::RollbackStrategy::kCheckpointEveryInterval;
+  auto a = baseline::run_scenario(builder(params), true, sim::seconds(60));
+  params.spec.rollback = spec::RollbackStrategy::kReplayFromLog;
+  auto b = baseline::run_scenario(builder(params), true, sim::seconds(60));
+  return {a, b};
+}
+
+TEST(RollbackStrategy, ValueFaultWorkloadMatchesAcrossStrategies) {
+  core::DbFsParams p;
+  p.transactions = 8;
+  p.update_fail_probability = 0.5;
+  p.net.latency = sim::microseconds(300);
+  auto out = run_both_strategies(p, core::db_fs_scenario);
+  ASSERT_TRUE(out.checkpointing.all_completed)
+      << out.checkpointing.stats.to_string();
+  ASSERT_TRUE(out.replaying.all_completed)
+      << out.replaying.stats.to_string();
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(out.checkpointing.trace,
+                                    out.replaying.trace, &why))
+      << why;
+  // And both must match the pessimistic run.
+  p.spec.rollback = spec::RollbackStrategy::kReplayFromLog;
+  auto pess = baseline::run_scenario(core::db_fs_scenario(p), false);
+  EXPECT_TRUE(trace::compare_traces(pess.trace, out.replaying.trace, &why))
+      << why;
+}
+
+TEST(RollbackStrategy, TimeFaultWorkloadMatchesAcrossStrategies) {
+  core::WriteThroughParams p;
+  p.force_fault = true;
+  p.transactions = 3;
+  p.net.latency = sim::microseconds(150);
+  auto out = run_both_strategies(p, core::write_through_scenario);
+  ASSERT_TRUE(out.checkpointing.all_completed);
+  ASSERT_TRUE(out.replaying.all_completed)
+      << out.replaying.stats.to_string();
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(out.checkpointing.trace,
+                                    out.replaying.trace, &why))
+      << why;
+  EXPECT_GT(out.replaying.stats.replays, 0u)
+      << out.replaying.stats.to_string();
+}
+
+TEST(RollbackStrategy, MutualAbortMatchesAcrossStrategies) {
+  core::MutualParams p;
+  p.crossing = true;
+  p.net.latency = sim::microseconds(100);
+  auto out = run_both_strategies(p, core::mutual_scenario);
+  ASSERT_TRUE(out.checkpointing.all_completed);
+  ASSERT_TRUE(out.replaying.all_completed)
+      << out.replaying.stats.to_string();
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(out.checkpointing.trace,
+                                    out.replaying.trace, &why))
+      << why;
+}
+
+TEST(RollbackStrategy, ReplayTakesFewerCheckpointsAtTheServer) {
+  // The server side shows the strategies' real difference: it never forks,
+  // so under the Time Warp style it checkpoints before every guess-tagged
+  // acceptance, while under replay it checkpoints only once at creation
+  // and keeps metadata records instead.
+  auto server_checkpoints = [](spec::RollbackStrategy s) {
+    core::PutLineParams p;
+    p.lines = 24;
+    p.net.latency = sim::microseconds(300);
+    p.spec.rollback = s;
+    auto rt = baseline::make_runtime(core::putline_scenario(p), true);
+    rt->run(sim::seconds(60));
+    EXPECT_TRUE(rt->process(0).completed());
+    return rt->process(rt->find("Y")).stats().checkpoints;
+  };
+  const auto checkpointing =
+      server_checkpoints(spec::RollbackStrategy::kCheckpointEveryInterval);
+  const auto replaying =
+      server_checkpoints(spec::RollbackStrategy::kReplayFromLog);
+  EXPECT_LT(replaying, checkpointing);
+  EXPECT_LE(replaying, 2u);          // creation only
+  EXPECT_GE(checkpointing, 20u);     // ~one per tagged request
+}
+
+TEST(RollbackStrategy, NoFaultRunsNeverReplay) {
+  core::PutLineParams p;
+  p.lines = 8;
+  p.spec.rollback = spec::RollbackStrategy::kReplayFromLog;
+  auto result = baseline::run_scenario(core::putline_scenario(p), true);
+  ASSERT_TRUE(result.all_completed);
+  EXPECT_EQ(result.stats.replays, 0u);
+  EXPECT_EQ(result.stats.rollbacks, 0u);
+}
+
+class StrategySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StrategySweep, PutLineTraceEqualityUnderReplay) {
+  const auto [seed, fail_pct] = GetParam();
+  core::PutLineParams p;
+  p.lines = 10;
+  p.seed = static_cast<std::uint64_t>(seed) * 13 + 1;
+  p.fail_probability = fail_pct / 100.0;
+  p.net.latency = sim::microseconds(250);
+  p.spec.rollback = spec::RollbackStrategy::kReplayFromLog;
+  auto scenario = core::putline_scenario(p);
+  auto pess = baseline::run_scenario(scenario, false, sim::seconds(60));
+  auto opt = baseline::run_scenario(scenario, true, sim::seconds(60));
+  ASSERT_TRUE(pess.all_completed);
+  ASSERT_TRUE(opt.all_completed) << opt.stats.to_string();
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(pess.trace, opt.trace, &why)) << why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrategySweep,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(0, 20, 50,
+                                                              80)));
+
+}  // namespace
+}  // namespace ocsp

@@ -1,0 +1,157 @@
+// Unit tests for the discrete-event kernel: ordering, FIFO tie-breaking,
+// cancellation, deadlines, and determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace ocsp::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(30, [&] { order.push_back(3); });
+  s.at(10, [&] { order.push_back(1); });
+  s.at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, SameTimeFifoTieBreak) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(5, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Scheduler, NowAdvancesToFiringTime) {
+  Scheduler s;
+  Time seen = -1;
+  s.at(42, [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.now(), 42);
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler s;
+  Time seen = -1;
+  s.at(10, [&] { s.after(5, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(Scheduler, CancelPreventsFiring) {
+  Scheduler s;
+  bool fired = false;
+  auto h = s.at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(h));
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, CancelTwiceFails) {
+  Scheduler s;
+  auto h = s.at(10, [] {});
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_FALSE(s.cancel(h));
+  s.run();
+}
+
+TEST(Scheduler, CancelAfterFireFails) {
+  Scheduler s;
+  auto h = s.at(10, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(h));
+}
+
+TEST(Scheduler, CancelInvalidHandle) {
+  Scheduler s;
+  EXPECT_FALSE(s.cancel(Scheduler::Handle{}));
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler s;
+  std::vector<Time> fired;
+  for (Time t : {10, 20, 30, 40}) {
+    s.at(t, [&fired, &s] { fired.push_back(s.now()); });
+  }
+  EXPECT_EQ(s.run_until(25), 2u);
+  EXPECT_EQ(s.now(), 25);
+  EXPECT_EQ(fired, (std::vector<Time>{10, 20}));
+  EXPECT_EQ(s.pending(), 2u);
+  s.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockWhenEmpty) {
+  Scheduler s;
+  s.run_until(100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Scheduler, EventsScheduledDuringRunFire) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.after(1, chain);
+  };
+  s.at(0, chain);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), 4);
+}
+
+TEST(Scheduler, StepFiresExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.at(1, [&] { ++count; });
+  s.at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Scheduler, PendingCountTracksCancellations) {
+  Scheduler s;
+  auto h1 = s.at(1, [] {});
+  s.at(2, [] {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(h1);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Scheduler, FiredCountAccumulates) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.fired_count(), 7u);
+}
+
+TEST(Scheduler, ZeroDelayEventFiresAtCurrentTime) {
+  Scheduler s;
+  Time seen = -1;
+  s.at(10, [&] { s.after(0, [&] { seen = s.now(); }); });
+  s.run();
+  EXPECT_EQ(seen, 10);
+}
+
+TEST(TimeHelpers, Conversions) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1000000);
+  EXPECT_EQ(seconds(1), 1000000000);
+  EXPECT_DOUBLE_EQ(to_micros(microseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_millis(milliseconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+}
+
+}  // namespace
+}  // namespace ocsp::sim

@@ -1,0 +1,136 @@
+// Tests for the real-thread executor: the CSP substrate running with true
+// OS-level concurrency, cross-checked against the deterministic simulator.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+#include "exec/threaded.h"
+
+namespace ocsp {
+namespace {
+
+using csp::lit;
+using csp::Value;
+using csp::var;
+
+TEST(ThreadedExec, SingleClientEchoCompletes) {
+  exec::ThreadedRuntime rt;
+  csp::StmtPtr client = csp::seq({
+      csp::call("S", "Echo", {lit(Value(5))}, "a"),
+      csp::call("S", "Echo", {var("a")}, "b"),
+      csp::print(var("b")),
+  });
+  std::map<std::string, csp::NativeHandler> handlers;
+  handlers["Echo"] = [](const csp::ValueList& args, csp::Env&, util::Rng&) {
+    return args[0];
+  };
+  const ProcessId x = rt.add_process("X", client);
+  rt.add_process("S", csp::native_service(std::move(handlers)), {},
+                 /*serves_forever=*/true);
+  ASSERT_TRUE(rt.run());
+  EXPECT_TRUE(rt.completed(x));
+  const auto trace = rt.committed_trace();
+  const auto& events = trace.for_process(x);
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events.back().kind,
+            trace::ObservableEvent::Kind::kExternalOutput);
+  EXPECT_EQ(events.back().data, Value(5));
+}
+
+TEST(ThreadedExec, MatchesSimulatedPessimisticTrace) {
+  // Single-client workload: the threaded run's committed trace must equal
+  // the simulator's pessimistic trace event for event, including the
+  // server-side randomness (identical RNG seeding).
+  core::PutLineParams p;
+  p.lines = 8;
+  p.fail_probability = 0.4;
+  auto scenario = core::putline_scenario(p);
+  auto simulated = baseline::run_scenario(scenario, false);
+  ASSERT_TRUE(simulated.all_completed);
+
+  exec::ThreadedOptions opts;
+  opts.seed = scenario.options.seed;
+  exec::ThreadedRuntime rt(opts);
+  for (std::size_t i = 0; i < scenario.processes.size(); ++i) {
+    const auto& proc = scenario.processes[i];
+    rt.add_process(proc.name, proc.program, proc.env,
+                   /*serves_forever=*/i != 0);
+  }
+  ASSERT_TRUE(rt.run());
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(simulated.trace, rt.committed_trace(), &why))
+      << why;
+}
+
+TEST(ThreadedExec, SequentialForksAdoptLeftState) {
+  // The streamed program (forks included) must run correctly on threads in
+  // pessimistic mode, producing the same outputs as the plain program.
+  core::DbFsParams p;
+  p.transactions = 4;
+  auto scenario = core::db_fs_scenario(p);
+  auto simulated = baseline::run_scenario(scenario, false);
+
+  exec::ThreadedOptions opts;
+  opts.seed = scenario.options.seed;
+  exec::ThreadedRuntime rt(opts);
+  for (std::size_t i = 0; i < scenario.processes.size(); ++i) {
+    const auto& proc = scenario.processes[i];
+    rt.add_process(proc.name, proc.program, proc.env, i != 0);
+  }
+  ASSERT_TRUE(rt.run());
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(simulated.trace, rt.committed_trace(), &why))
+      << why;
+}
+
+TEST(ThreadedExec, TwoClientsShareAServer) {
+  // Multi-client: server interleaving is scheduler-dependent, but each
+  // client's own sequence is fixed.
+  exec::ThreadedRuntime rt;
+  auto client = [](int base) {
+    return csp::seq({
+        csp::call("S", "Add", {lit(Value(base))}, "a"),
+        csp::call("S", "Add", {lit(Value(base + 1))}, "b"),
+        csp::print(csp::add(var("a"), var("b"))),
+    });
+  };
+  std::map<std::string, csp::NativeHandler> handlers;
+  handlers["Add"] = [](const csp::ValueList& args, csp::Env&, util::Rng&) {
+    return Value(args[0].as_int() + 100);
+  };
+  const ProcessId c0 = rt.add_process("C0", client(0));
+  const ProcessId c1 = rt.add_process("C1", client(10));
+  rt.add_process("S", csp::native_service(std::move(handlers)), {}, true);
+  ASSERT_TRUE(rt.run());
+  EXPECT_TRUE(rt.completed(c0));
+  EXPECT_TRUE(rt.completed(c1));
+  const auto trace = rt.committed_trace();
+  EXPECT_EQ(trace.for_process(c0).back().data, Value(201));
+  EXPECT_EQ(trace.for_process(c1).back().data, Value(221));
+}
+
+TEST(ThreadedExec, PipelineThroughRelay) {
+  exec::ThreadedRuntime rt;
+  csp::StmtPtr client = csp::seq({
+      csp::call("R", "Fwd", {lit(Value(7))}, "a"),
+      csp::print(var("a")),
+  });
+  std::map<std::string, csp::StmtPtr> relay;
+  relay["Fwd"] = csp::seq({
+      csp::call("End", "Fwd", {csp::arg(0)}, "fwd"),
+      csp::reply(var("fwd")),
+  });
+  std::map<std::string, csp::NativeHandler> end;
+  end["Fwd"] = [](const csp::ValueList& args, csp::Env&, util::Rng&) {
+    return Value(args[0].as_int() * 3);
+  };
+  const ProcessId x = rt.add_process("X", client);
+  rt.add_process("R", csp::service_loop(std::move(relay)), {}, true);
+  rt.add_process("End", csp::native_service(std::move(end)), {}, true);
+  ASSERT_TRUE(rt.run());
+  EXPECT_EQ(rt.committed_trace().for_process(x).back().data, Value(21));
+}
+
+}  // namespace
+}  // namespace ocsp

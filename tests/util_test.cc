@@ -1,0 +1,286 @@
+// Unit tests for the util layer: deterministic RNG, statistics
+// accumulators, the sparse vector backing commit histories, the flat set
+// backing guard sets, and the bench table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/flat_set.h"
+#include "util/rng.h"
+#include "util/sparse_vector.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace ocsp::util {
+namespace {
+
+// ---- Rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksP) {
+  Rng rng(21);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  EXPECT_NE(a.next(), child.next());
+  // Splitting is deterministic too.
+  Rng b(42);
+  Rng child2 = b.split();
+  EXPECT_EQ(child2.next(), Rng(42).split().next());
+}
+
+TEST(Rng, CopyPreservesState) {
+  Rng a(99);
+  a.next();
+  Rng b = a;
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_EQ(a, b);
+}
+
+// ---- Accumulator ------------------------------------------------------------
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream) {
+  Accumulator all, left, right;
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0, 100);
+    all.add(v);
+    (i % 2 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+// ---- Samples ------------------------------------------------------------------
+
+TEST(Samples, ExactPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(90), 90.1, 1e-9);
+}
+
+TEST(Samples, EmptyPercentileIsZero) {
+  Samples s;
+  EXPECT_EQ(s.percentile(50), 0.0);
+}
+
+TEST(Samples, MeanIsArithmetic) {
+  Samples s;
+  s.add(1);
+  s.add(2);
+  s.add(6);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+// ---- Histogram ------------------------------------------------------------------
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bucket 0
+  h.add(9.5);   // bucket 9
+  h.add(-5.0);  // clamps to 0
+  h.add(50.0);  // clamps to 9
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+// ---- SparseVector ------------------------------------------------------------------
+
+TEST(SparseVector, DefaultsForMissing) {
+  SparseVector<int> v(7);
+  EXPECT_EQ(v.get(0), 7);
+  EXPECT_EQ(v.get(1000000), 7);
+  EXPECT_EQ(v.explicit_count(), 0u);
+}
+
+TEST(SparseVector, ExplicitEntriesStored) {
+  SparseVector<int> v(0);
+  v.set(5, 42);
+  EXPECT_EQ(v.get(5), 42);
+  EXPECT_TRUE(v.has_explicit(5));
+  EXPECT_FALSE(v.has_explicit(4));
+  EXPECT_EQ(v.explicit_count(), 1u);
+}
+
+TEST(SparseVector, WritingDefaultErasesEntry) {
+  // Section 4.1.5: committed entries (the default) must not consume space.
+  SparseVector<int> v(1);
+  v.set(3, 9);
+  EXPECT_EQ(v.explicit_count(), 1u);
+  v.set(3, 1);  // back to the default
+  EXPECT_EQ(v.explicit_count(), 0u);
+  EXPECT_EQ(v.get(3), 1);
+}
+
+TEST(SparseVector, IterationInIndexOrder) {
+  SparseVector<int> v(0);
+  v.set(9, 1);
+  v.set(2, 2);
+  v.set(5, 3);
+  std::vector<std::size_t> order;
+  for (const auto& [i, val] : v) order.push_back(i);
+  EXPECT_EQ(order, (std::vector<std::size_t>{2, 5, 9}));
+}
+
+// ---- FlatSet ------------------------------------------------------------------
+
+TEST(FlatSet, InsertEraseContains) {
+  FlatSet<int> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_FALSE(s.insert(3));  // duplicate
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(FlatSet, StaysSorted) {
+  FlatSet<int> s{5, 1, 4, 2, 3};
+  std::vector<int> out(s.begin(), s.end());
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(FlatSet, FindReturnsEndForMissing) {
+  FlatSet<int> s{1, 2};
+  EXPECT_EQ(s.find(3), s.end());
+  EXPECT_NE(s.find(2), s.end());
+}
+
+TEST(FlatSet, EqualityIsElementwise) {
+  FlatSet<int> a{1, 2}, b{2, 1}, c{1, 3};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+// ---- Table ------------------------------------------------------------------
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row("x", 1);
+  t.row("longer", 2.5);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("2.500"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, FormatsIntegersWithoutDecimals) {
+  Table t({"v"});
+  t.row(42);
+  EXPECT_NE(t.to_string().find("42"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("42.000"), std::string::npos);
+}
+
+TEST(Table, BoolsRenderAsYesNo) {
+  Table t({"a", "b"});
+  t.row(true, false);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_NE(out.find("no"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocsp::util
