@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_sequential.dir/bench_fig2_sequential.cc.o"
+  "CMakeFiles/bench_fig2_sequential.dir/bench_fig2_sequential.cc.o.d"
+  "bench_fig2_sequential"
+  "bench_fig2_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_timefault.dir/bench_fig4_timefault.cc.o"
+  "CMakeFiles/bench_fig4_timefault.dir/bench_fig4_timefault.cc.o.d"
+  "bench_fig4_timefault"
+  "bench_fig4_timefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_timefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

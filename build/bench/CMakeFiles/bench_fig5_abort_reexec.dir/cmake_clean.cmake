@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_abort_reexec.dir/bench_fig5_abort_reexec.cc.o"
+  "CMakeFiles/bench_fig5_abort_reexec.dir/bench_fig5_abort_reexec.cc.o.d"
+  "bench_fig5_abort_reexec"
+  "bench_fig5_abort_reexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_abort_reexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

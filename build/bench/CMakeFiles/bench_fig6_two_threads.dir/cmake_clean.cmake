@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_two_threads.dir/bench_fig6_two_threads.cc.o"
+  "CMakeFiles/bench_fig6_two_threads.dir/bench_fig6_two_threads.cc.o.d"
+  "bench_fig6_two_threads"
+  "bench_fig6_two_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_two_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

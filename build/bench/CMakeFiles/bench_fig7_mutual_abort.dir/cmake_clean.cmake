@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mutual_abort.dir/bench_fig7_mutual_abort.cc.o"
+  "CMakeFiles/bench_fig7_mutual_abort.dir/bench_fig7_mutual_abort.cc.o.d"
+  "bench_fig7_mutual_abort"
+  "bench_fig7_mutual_abort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mutual_abort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_mutual_abort.
+# This may be replaced when dependencies are built.

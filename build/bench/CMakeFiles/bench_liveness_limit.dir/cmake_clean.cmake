@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_liveness_limit.dir/bench_liveness_limit.cc.o"
+  "CMakeFiles/bench_liveness_limit.dir/bench_liveness_limit.cc.o.d"
+  "bench_liveness_limit"
+  "bench_liveness_limit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_liveness_limit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rollback_strategy.dir/bench_rollback_strategy.cc.o"
+  "CMakeFiles/bench_rollback_strategy.dir/bench_rollback_strategy.cc.o.d"
+  "bench_rollback_strategy"
+  "bench_rollback_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rollback_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_footprint.dir/bench_state_footprint.cc.o"
+  "CMakeFiles/bench_state_footprint.dir/bench_state_footprint.cc.o.d"
+  "bench_state_footprint"
+  "bench_state_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

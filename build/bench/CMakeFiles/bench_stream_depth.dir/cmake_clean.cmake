@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_depth.dir/bench_stream_depth.cc.o"
+  "CMakeFiles/bench_stream_depth.dir/bench_stream_depth.cc.o.d"
+  "bench_stream_depth"
+  "bench_stream_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

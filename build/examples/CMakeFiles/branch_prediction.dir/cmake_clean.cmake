@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_prediction.dir/branch_prediction.cpp.o"
+  "CMakeFiles/branch_prediction.dir/branch_prediction.cpp.o.d"
+  "branch_prediction"
+  "branch_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_update.dir/db_update.cpp.o"
+  "CMakeFiles/db_update.dir/db_update.cpp.o.d"
+  "db_update"
+  "db_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

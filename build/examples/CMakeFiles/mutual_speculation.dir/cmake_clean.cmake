@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutual_speculation.dir/mutual_speculation.cpp.o"
+  "CMakeFiles/mutual_speculation.dir/mutual_speculation.cpp.o.d"
+  "mutual_speculation"
+  "mutual_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutual_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

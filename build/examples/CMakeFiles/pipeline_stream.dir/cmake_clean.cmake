@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_stream.dir/pipeline_stream.cpp.o"
+  "CMakeFiles/pipeline_stream.dir/pipeline_stream.cpp.o.d"
+  "pipeline_stream"
+  "pipeline_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_csp.dir/threaded_csp.cpp.o"
+  "CMakeFiles/threaded_csp.dir/threaded_csp.cpp.o.d"
+  "threaded_csp"
+  "threaded_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/scenario.cc" "src/baseline/CMakeFiles/ocsp_baseline.dir/scenario.cc.o" "gcc" "src/baseline/CMakeFiles/ocsp_baseline.dir/scenario.cc.o.d"
+  "/root/repo/src/baseline/timewarp.cc" "src/baseline/CMakeFiles/ocsp_baseline.dir/timewarp.cc.o" "gcc" "src/baseline/CMakeFiles/ocsp_baseline.dir/timewarp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/speculation/CMakeFiles/ocsp_speculation.dir/DependInfo.cmake"
+  "/root/repo/build/src/csp/CMakeFiles/ocsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ocsp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_baseline.dir/scenario.cc.o"
+  "CMakeFiles/ocsp_baseline.dir/scenario.cc.o.d"
+  "CMakeFiles/ocsp_baseline.dir/timewarp.cc.o"
+  "CMakeFiles/ocsp_baseline.dir/timewarp.cc.o.d"
+  "libocsp_baseline.a"
+  "libocsp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp.dir/workloads.cc.o"
+  "CMakeFiles/ocsp.dir/workloads.cc.o.d"
+  "libocsp.a"
+  "libocsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

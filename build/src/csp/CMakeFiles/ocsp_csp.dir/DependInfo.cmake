@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csp/env.cc" "src/csp/CMakeFiles/ocsp_csp.dir/env.cc.o" "gcc" "src/csp/CMakeFiles/ocsp_csp.dir/env.cc.o.d"
+  "/root/repo/src/csp/expr.cc" "src/csp/CMakeFiles/ocsp_csp.dir/expr.cc.o" "gcc" "src/csp/CMakeFiles/ocsp_csp.dir/expr.cc.o.d"
+  "/root/repo/src/csp/machine.cc" "src/csp/CMakeFiles/ocsp_csp.dir/machine.cc.o" "gcc" "src/csp/CMakeFiles/ocsp_csp.dir/machine.cc.o.d"
+  "/root/repo/src/csp/program.cc" "src/csp/CMakeFiles/ocsp_csp.dir/program.cc.o" "gcc" "src/csp/CMakeFiles/ocsp_csp.dir/program.cc.o.d"
+  "/root/repo/src/csp/service.cc" "src/csp/CMakeFiles/ocsp_csp.dir/service.cc.o" "gcc" "src/csp/CMakeFiles/ocsp_csp.dir/service.cc.o.d"
+  "/root/repo/src/csp/value.cc" "src/csp/CMakeFiles/ocsp_csp.dir/value.cc.o" "gcc" "src/csp/CMakeFiles/ocsp_csp.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ocsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_csp.dir/env.cc.o"
+  "CMakeFiles/ocsp_csp.dir/env.cc.o.d"
+  "CMakeFiles/ocsp_csp.dir/expr.cc.o"
+  "CMakeFiles/ocsp_csp.dir/expr.cc.o.d"
+  "CMakeFiles/ocsp_csp.dir/machine.cc.o"
+  "CMakeFiles/ocsp_csp.dir/machine.cc.o.d"
+  "CMakeFiles/ocsp_csp.dir/program.cc.o"
+  "CMakeFiles/ocsp_csp.dir/program.cc.o.d"
+  "CMakeFiles/ocsp_csp.dir/service.cc.o"
+  "CMakeFiles/ocsp_csp.dir/service.cc.o.d"
+  "CMakeFiles/ocsp_csp.dir/value.cc.o"
+  "CMakeFiles/ocsp_csp.dir/value.cc.o.d"
+  "libocsp_csp.a"
+  "libocsp_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_exec.dir/threaded.cc.o"
+  "CMakeFiles/ocsp_exec.dir/threaded.cc.o.d"
+  "libocsp_exec.a"
+  "libocsp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_net.dir/latency.cc.o"
+  "CMakeFiles/ocsp_net.dir/latency.cc.o.d"
+  "CMakeFiles/ocsp_net.dir/network.cc.o"
+  "CMakeFiles/ocsp_net.dir/network.cc.o.d"
+  "libocsp_net.a"
+  "libocsp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_sim.dir/scheduler.cc.o"
+  "CMakeFiles/ocsp_sim.dir/scheduler.cc.o.d"
+  "libocsp_sim.a"
+  "libocsp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

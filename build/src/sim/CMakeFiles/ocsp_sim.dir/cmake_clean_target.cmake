@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocsp_sim.a"
+)

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/speculation/cdg.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/cdg.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/cdg.cc.o.d"
+  "/root/repo/src/speculation/guard_set.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/guard_set.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/guard_set.cc.o.d"
+  "/root/repo/src/speculation/guess.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/guess.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/guess.cc.o.d"
+  "/root/repo/src/speculation/history.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/history.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/history.cc.o.d"
+  "/root/repo/src/speculation/messages.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/messages.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/messages.cc.o.d"
+  "/root/repo/src/speculation/predictor.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/predictor.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/predictor.cc.o.d"
+  "/root/repo/src/speculation/process.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process.cc.o.d"
+  "/root/repo/src/speculation/process_arrival.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process_arrival.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process_arrival.cc.o.d"
+  "/root/repo/src/speculation/process_control.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process_control.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process_control.cc.o.d"
+  "/root/repo/src/speculation/process_fork.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process_fork.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/process_fork.cc.o.d"
+  "/root/repo/src/speculation/runtime.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/runtime.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/runtime.cc.o.d"
+  "/root/repo/src/speculation/stats.cc" "src/speculation/CMakeFiles/ocsp_speculation.dir/stats.cc.o" "gcc" "src/speculation/CMakeFiles/ocsp_speculation.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csp/CMakeFiles/ocsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ocsp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_speculation.dir/cdg.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/cdg.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/guard_set.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/guard_set.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/guess.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/guess.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/history.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/history.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/messages.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/messages.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/predictor.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/predictor.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/process.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/process.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/process_arrival.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/process_arrival.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/process_control.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/process_control.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/process_fork.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/process_fork.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/runtime.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/runtime.cc.o.d"
+  "CMakeFiles/ocsp_speculation.dir/stats.cc.o"
+  "CMakeFiles/ocsp_speculation.dir/stats.cc.o.d"
+  "libocsp_speculation.a"
+  "libocsp_speculation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_speculation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

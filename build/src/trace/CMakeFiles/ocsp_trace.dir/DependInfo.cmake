@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/causality.cc" "src/trace/CMakeFiles/ocsp_trace.dir/causality.cc.o" "gcc" "src/trace/CMakeFiles/ocsp_trace.dir/causality.cc.o.d"
+  "/root/repo/src/trace/events.cc" "src/trace/CMakeFiles/ocsp_trace.dir/events.cc.o" "gcc" "src/trace/CMakeFiles/ocsp_trace.dir/events.cc.o.d"
+  "/root/repo/src/trace/timeline.cc" "src/trace/CMakeFiles/ocsp_trace.dir/timeline.cc.o" "gcc" "src/trace/CMakeFiles/ocsp_trace.dir/timeline.cc.o.d"
+  "/root/repo/src/trace/vector_clock.cc" "src/trace/CMakeFiles/ocsp_trace.dir/vector_clock.cc.o" "gcc" "src/trace/CMakeFiles/ocsp_trace.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csp/CMakeFiles/ocsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_trace.dir/causality.cc.o"
+  "CMakeFiles/ocsp_trace.dir/causality.cc.o.d"
+  "CMakeFiles/ocsp_trace.dir/events.cc.o"
+  "CMakeFiles/ocsp_trace.dir/events.cc.o.d"
+  "CMakeFiles/ocsp_trace.dir/timeline.cc.o"
+  "CMakeFiles/ocsp_trace.dir/timeline.cc.o.d"
+  "CMakeFiles/ocsp_trace.dir/vector_clock.cc.o"
+  "CMakeFiles/ocsp_trace.dir/vector_clock.cc.o.d"
+  "libocsp_trace.a"
+  "libocsp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

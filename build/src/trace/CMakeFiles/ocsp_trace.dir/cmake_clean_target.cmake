@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libocsp_trace.a"
+)

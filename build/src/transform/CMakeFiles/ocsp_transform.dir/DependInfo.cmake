@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/analysis.cc" "src/transform/CMakeFiles/ocsp_transform.dir/analysis.cc.o" "gcc" "src/transform/CMakeFiles/ocsp_transform.dir/analysis.cc.o.d"
+  "/root/repo/src/transform/fork_insertion.cc" "src/transform/CMakeFiles/ocsp_transform.dir/fork_insertion.cc.o" "gcc" "src/transform/CMakeFiles/ocsp_transform.dir/fork_insertion.cc.o.d"
+  "/root/repo/src/transform/streaming.cc" "src/transform/CMakeFiles/ocsp_transform.dir/streaming.cc.o" "gcc" "src/transform/CMakeFiles/ocsp_transform.dir/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/csp/CMakeFiles/ocsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocsp_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_transform.dir/analysis.cc.o"
+  "CMakeFiles/ocsp_transform.dir/analysis.cc.o.d"
+  "CMakeFiles/ocsp_transform.dir/fork_insertion.cc.o"
+  "CMakeFiles/ocsp_transform.dir/fork_insertion.cc.o.d"
+  "CMakeFiles/ocsp_transform.dir/streaming.cc.o"
+  "CMakeFiles/ocsp_transform.dir/streaming.cc.o.d"
+  "libocsp_transform.a"
+  "libocsp_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocsp_util.dir/logging.cc.o"
+  "CMakeFiles/ocsp_util.dir/logging.cc.o.d"
+  "CMakeFiles/ocsp_util.dir/rng.cc.o"
+  "CMakeFiles/ocsp_util.dir/rng.cc.o.d"
+  "CMakeFiles/ocsp_util.dir/stats.cc.o"
+  "CMakeFiles/ocsp_util.dir/stats.cc.o.d"
+  "CMakeFiles/ocsp_util.dir/table.cc.o"
+  "CMakeFiles/ocsp_util.dir/table.cc.o.d"
+  "libocsp_util.a"
+  "libocsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

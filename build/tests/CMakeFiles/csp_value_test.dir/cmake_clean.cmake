@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_value_test.dir/csp_value_test.cc.o"
+  "CMakeFiles/csp_value_test.dir/csp_value_test.cc.o.d"
+  "csp_value_test"
+  "csp_value_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_value_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_dbfs_test.dir/integration_dbfs_test.cc.o"
+  "CMakeFiles/integration_dbfs_test.dir/integration_dbfs_test.cc.o.d"
+  "integration_dbfs_test"
+  "integration_dbfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_dbfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_mutual_test.dir/integration_mutual_test.cc.o"
+  "CMakeFiles/integration_mutual_test.dir/integration_mutual_test.cc.o.d"
+  "integration_mutual_test"
+  "integration_mutual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_mutual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

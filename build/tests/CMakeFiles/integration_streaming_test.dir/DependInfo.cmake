@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_streaming_test.cc" "tests/CMakeFiles/integration_streaming_test.dir/integration_streaming_test.cc.o" "gcc" "tests/CMakeFiles/integration_streaming_test.dir/integration_streaming_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ocsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/ocsp_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ocsp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/speculation/CMakeFiles/ocsp_speculation.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ocsp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ocsp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ocsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/csp/CMakeFiles/ocsp_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ocsp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ocsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_streaming_test.dir/integration_streaming_test.cc.o"
+  "CMakeFiles/integration_streaming_test.dir/integration_streaming_test.cc.o.d"
+  "integration_streaming_test"
+  "integration_streaming_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_streaming_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rollback_strategy_test.dir/rollback_strategy_test.cc.o"
+  "CMakeFiles/rollback_strategy_test.dir/rollback_strategy_test.cc.o.d"
+  "rollback_strategy_test"
+  "rollback_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rollback_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

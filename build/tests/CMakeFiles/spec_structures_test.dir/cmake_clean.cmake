@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_structures_test.dir/spec_structures_test.cc.o"
+  "CMakeFiles/spec_structures_test.dir/spec_structures_test.cc.o.d"
+  "spec_structures_test"
+  "spec_structures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_structures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_exec_test.dir/threaded_exec_test.cc.o"
+  "CMakeFiles/threaded_exec_test.dir/threaded_exec_test.cc.o.d"
+  "threaded_exec_test"
+  "threaded_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
