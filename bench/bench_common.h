@@ -11,10 +11,15 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baseline/scenario.h"
 #include "core/workloads.h"
+#include "obs/metrics.h"
 #include "trace/timeline.h"
+#include "util/json.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 namespace ocsp::bench {
@@ -55,15 +60,117 @@ inline double speedup(const baseline::RunResult& pessimistic,
          static_cast<double>(optimistic.last_completion);
 }
 
-/// Attach the standard virtual-time counters to a google-benchmark state.
+/// Collector behind --ocsp_json_out=<path>: every set_counters() call
+/// appends the run's metrics snapshot, and OCSP_BENCH_MAIN writes the whole
+/// trajectory as one machine-readable JSON document on shutdown.
+class MetricsTrajectory {
+ public:
+  static MetricsTrajectory& instance() {
+    static MetricsTrajectory t;
+    return t;
+  }
+
+  void set_output(std::string path) { path_ = std::move(path); }
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return entries_.size(); }
+
+  void add(std::string label, const baseline::RunResult& result) {
+    Entry e;
+    e.label = std::move(label);
+    e.virt_ms = sim::to_millis(result.last_completion);
+    e.metrics = result.metrics;
+    entries_.push_back(std::move(e));
+  }
+
+  /// {"schema":"ocsp-bench-v1","binary":...,"benchmarks":[{name, virt_ms,
+  /// metrics:{counters,gauges,accumulators,histograms}}]}.
+  bool write(const char* binary) const {
+    if (path_.empty()) return true;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("ocsp-bench-v1");
+    w.key("binary");
+    w.value(binary);
+    w.key("benchmarks");
+    w.begin_array();
+    for (const auto& e : entries_) {
+      w.begin_object();
+      w.key("name");
+      w.value(e.label);
+      w.key("virt_ms");
+      w.value(e.virt_ms);
+      w.key("metrics");
+      e.metrics.write_json(w);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      OCSP_ELOG << "cannot write --ocsp_json_out file " << path_;
+      return false;
+    }
+    const std::string text = w.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("ocsp: wrote metrics snapshot (%zu runs) to %s\n",
+                entries_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    double virt_ms = 0;
+    obs::MetricsRegistry metrics;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
+/// Strip --ocsp_json_out=<path> from argv (google-benchmark would reject
+/// it) and arm the trajectory collector.
+inline void consume_json_out_flag(int* argc, char** argv) {
+  const std::string prefix = "--ocsp_json_out=";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      MetricsTrajectory::instance().set_output(arg.substr(prefix.size()));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Attach the standard virtual-time counters to a google-benchmark state
+/// and feed the --ocsp_json_out trajectory.  `label` names the entry in the
+/// JSON output; empty derives run_<index>.
 inline void set_counters(benchmark::State& state,
-                         const baseline::RunResult& result) {
+                         const baseline::RunResult& result,
+                         std::string label = {}) {
   state.counters["virt_ms"] = sim::to_millis(result.last_completion);
   state.counters["commits"] = static_cast<double>(result.stats.commits);
   state.counters["aborts"] =
       static_cast<double>(result.stats.total_aborts());
   state.counters["rollbacks"] =
       static_cast<double>(result.stats.rollbacks);
+  state.counters["control_sent"] =
+      static_cast<double>(result.stats.control_sent);
+  state.counters["precedence_sent"] =
+      static_cast<double>(result.stats.precedence_sent);
+  state.counters["messages_redelivered"] =
+      static_cast<double>(result.stats.messages_redelivered);
+  auto& trajectory = MetricsTrajectory::instance();
+  if (!trajectory.path().empty()) {
+    if (label.empty()) {
+      label = "run_" + std::to_string(trajectory.size());
+    }
+    trajectory.add(std::move(label), result);
+  }
 }
 
 inline void print_header(const char* experiment, const char* claim) {
@@ -75,13 +182,18 @@ inline void print_header(const char* experiment, const char* claim) {
 
 }  // namespace ocsp::bench
 
-/// Standard main: print the figure/report, then run google-benchmark.
+/// Standard main: print the figure/report, then run google-benchmark;
+/// --ocsp_json_out=<path> additionally writes a machine-readable metrics
+/// snapshot of every benchmarked run.
 #define OCSP_BENCH_MAIN(report_fn)                       \
   int main(int argc, char** argv) {                      \
+    ocsp::bench::consume_json_out_flag(&argc, argv);     \
     report_fn();                                         \
     benchmark::Initialize(&argc, argv);                  \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     benchmark::RunSpecifiedBenchmarks();                 \
     benchmark::Shutdown();                               \
-    return 0;                                            \
+    return ocsp::bench::MetricsTrajectory::instance().write(argv[0]) \
+               ? 0                                       \
+               : 1;                                      \
   }

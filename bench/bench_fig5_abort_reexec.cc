@@ -66,7 +66,8 @@ void BM_AbortReexecute(benchmark::State& state) {
         baseline::run_scenario(core::write_through_scenario(p), true);
     benchmark::DoNotOptimize(result.last_completion);
   }
-  set_counters(state, result);
+  set_counters(state, result,
+               "BM_AbortReexecute/" + std::to_string(state.range(0)));
 }
 BENCHMARK(BM_AbortReexecute)->Arg(1)->Arg(4)->Arg(8);
 

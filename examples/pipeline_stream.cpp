@@ -12,9 +12,13 @@
 //     the commit cascade, one control-message hop per dependent guess.
 //
 // Build and run:   ./build/examples/pipeline_stream
+// Pass --trace-out=<path> to export the depth-4 relay-stream run as a
+// Chrome trace-event JSON (load it in Perfetto or chrome://tracing).
 #include <cstdio>
+#include <string>
 
 #include "core/workloads.h"
+#include "obs/chrome_trace.h"
 #include "util/table.h"
 
 using namespace ocsp;
@@ -34,14 +38,23 @@ baseline::RunResult run(int depth, bool stream, bool stream_relays) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--trace-out=";
+    if (arg.rfind(prefix, 0) == 0) trace_out = arg.substr(prefix.size());
+  }
+
   std::printf("Pipelined call streaming through relay chains (12 calls)\n\n");
   util::Table table({"chain depth", "sequential ms", "client-stream ms",
                      "relay-stream ms", "best speedup", "aborts"});
+  baseline::RunResult traced;
   for (int depth : {1, 2, 4, 8}) {
     auto sequential = run(depth, false, false);
     auto client_only = run(depth, true, false);
     auto full = run(depth, true, true);
+    if (depth == 4) traced = full;
     table.row(depth, sim::to_millis(sequential.last_completion),
               sim::to_millis(client_only.last_completion),
               sim::to_millis(full.last_completion),
@@ -56,6 +69,14 @@ int main() {
     }
   }
   std::printf("%s\n", table.to_string().c_str());
+  if (!trace_out.empty()) {
+    if (!obs::write_chrome_trace(trace_out, *traced.recorder,
+                                 traced.process_names)) {
+      return 1;
+    }
+    std::printf("Wrote Chrome trace of the depth-4 relay-stream run to %s\n\n",
+                trace_out.c_str());
+  }
   std::printf(
       "Relay streaming is the paper's speculation applied transitively:\n"
       "every reply is guarded by the relay's own guess, PRECEDENCE chains\n"

@@ -34,6 +34,9 @@ RunResult run_scenario(const Scenario& scenario, bool speculation,
   result.network = rt->network().stats();
   result.timeline_rollbacks =
       rt->timeline().count(trace::TimelineEntry::Kind::kRollback);
+  result.metrics = rt->metrics();
+  result.recorder = rt->shared_recorder();
+  result.process_names = rt->process_names();
   return result;
 }
 

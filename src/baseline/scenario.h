@@ -15,6 +15,8 @@
 
 #include "csp/env.h"
 #include "csp/program.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "speculation/runtime.h"
 #include "trace/events.h"
 
@@ -49,6 +51,14 @@ struct RunResult {
   trace::CommittedTrace trace;
   net::NetworkStats network;
   std::size_t timeline_rollbacks = 0;
+
+  /// Merged run-wide metrics snapshot (counters, gauges, histograms).
+  obs::MetricsRegistry metrics;
+  /// Structured event log of the run; survives the runtime's teardown so
+  /// exporters (chrome_trace_json) can run on the result.
+  std::shared_ptr<obs::RunRecorder> recorder;
+  /// Process names indexed by ProcessId, for trace export.
+  std::vector<std::string> process_names;
 };
 
 /// Build a runtime for the scenario; `speculation` toggles the protocol.

@@ -44,6 +44,16 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
     ++stats_.messages_dropped;
     OCSP_DLOG << "net: drop #" << id << " " << payload->kind() << " " << src
               << "->" << dst;
+    if (send_tracer_) {
+      Envelope env;
+      env.id = id;
+      env.src = src;
+      env.dst = dst;
+      env.sent_at = sched_.now();
+      env.delivered_at = 0;  // dropped
+      env.payload = std::move(payload);
+      send_tracer_(env);
+    }
     return id;
   }
 
@@ -69,6 +79,7 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
   env.sent_at = sched_.now();
   env.delivered_at = deliver_at;
   env.payload = std::move(payload);
+  if (send_tracer_) send_tracer_(env);
 
   sched_.at(deliver_at, [this, env]() {
     auto it = endpoints_.find(env.dst);

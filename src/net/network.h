@@ -69,6 +69,10 @@ class Network {
 
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
+  /// Trace hook observing every accepted send (before queueing; dropped
+  /// messages are observed too, with delivered_at == 0).
+  void set_send_tracer(Tracer tracer) { send_tracer_ = std::move(tracer); }
+
   const NetworkStats& stats() const { return stats_; }
   sim::Scheduler& scheduler() { return sched_; }
 
@@ -83,6 +87,7 @@ class Network {
   /// Earliest permissible delivery time per ordered pair (FIFO enforcement).
   std::map<std::pair<ProcessId, ProcessId>, sim::Time> fifo_horizon_;
   Tracer tracer_;
+  Tracer send_tracer_;
   NetworkStats stats_;
   MsgId next_msg_id_ = 1;
 };

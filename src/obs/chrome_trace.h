@@ -1,0 +1,32 @@
+// Chrome trace-event JSON exporter (loadable in Perfetto or
+// chrome://tracing).
+//
+// Track layout: one Chrome "process" (pid) per OCSP process, named via
+// process_name metadata; within it, tid n is the speculative thread x_n
+// and tid 0 additionally carries the message lanes.  Guess lifetimes
+// become duration slices from fork to resolution, colored and tagged by
+// outcome (commit / abort+reason); rollbacks, cycle detections, and
+// external releases/discards are instant events; every network message —
+// data and control, PRECEDENCE included — becomes a flow arrow between a
+// 1 us send slice on the source track and a matching delivery slice on the
+// destination track.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+
+namespace ocsp::obs {
+
+/// Render the recorded run as a Chrome trace-event JSON document.
+/// `process_names[i]` labels the track of ProcessId i.
+std::string chrome_trace_json(const RunRecorder& recorder,
+                              const std::vector<std::string>& process_names);
+
+/// Write chrome_trace_json() to `path`.  Returns false (and logs an error)
+/// when the file cannot be written.
+bool write_chrome_trace(const std::string& path, const RunRecorder& recorder,
+                        const std::vector<std::string>& process_names);
+
+}  // namespace ocsp::obs

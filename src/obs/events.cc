@@ -1,0 +1,96 @@
+#include "obs/events.h"
+
+#include <sstream>
+
+namespace ocsp::obs {
+
+std::string GuessRef::to_string() const {
+  if (!valid()) return "g(-)";
+  std::ostringstream os;
+  os << "g(P" << owner << "." << incarnation << "." << index << ")";
+  return os.str();
+}
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kIntervalBegin:
+      return "interval-begin";
+    case EventKind::kFork:
+      return "fork";
+    case EventKind::kJoin:
+      return "join";
+    case EventKind::kCommit:
+      return "commit";
+    case EventKind::kAbort:
+      return "abort";
+    case EventKind::kRollback:
+      return "rollback";
+    case EventKind::kGuessMade:
+      return "guess-made";
+    case EventKind::kGuessVerified:
+      return "guess-verified";
+    case EventKind::kGuessFailed:
+      return "guess-failed";
+    case EventKind::kControlSent:
+      return "control-sent";
+    case EventKind::kControlReceived:
+      return "control-received";
+    case EventKind::kCdgEdgeAdded:
+      return "cdg-edge";
+    case EventKind::kCdgCycleDetected:
+      return "cdg-cycle";
+    case EventKind::kExternalBuffered:
+      return "external-buffered";
+    case EventKind::kExternalReleased:
+      return "external-released";
+    case EventKind::kExternalDiscarded:
+      return "external-discarded";
+    case EventKind::kMsgSent:
+      return "msg-sent";
+    case EventKind::kMsgDelivered:
+      return "msg-delivered";
+  }
+  return "?";
+}
+
+const char* to_string(AbortReason r) {
+  switch (r) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kValueFault:
+      return "value-fault";
+    case AbortReason::kTimeFault:
+      return "time-fault";
+    case AbortReason::kTimeout:
+      return "timeout";
+    case AbortReason::kCascade:
+      return "cascade";
+  }
+  return "?";
+}
+
+const char* to_string(ControlType c) {
+  switch (c) {
+    case ControlType::kNone:
+      return "none";
+    case ControlType::kCommit:
+      return "COMMIT";
+    case ControlType::kAbort:
+      return "ABORT";
+    case ControlType::kPrecedence:
+      return "PRECEDENCE";
+  }
+  return "?";
+}
+
+std::string to_string(const Event& e) {
+  std::ostringstream os;
+  os << "t=" << e.when << " P" << e.process << " " << to_string(e.kind);
+  if (e.guess.valid()) os << " " << e.guess.to_string();
+  if (e.reason != AbortReason::kNone) os << " reason=" << to_string(e.reason);
+  if (e.control != ControlType::kNone) os << " " << to_string(e.control);
+  if (!e.detail.empty()) os << " " << e.detail;
+  return os.str();
+}
+
+}  // namespace ocsp::obs

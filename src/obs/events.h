@@ -1,0 +1,91 @@
+// Typed event taxonomy of the observability layer.
+//
+// Every protocol-relevant occurrence — interval lifecycle, guess lifecycle,
+// control traffic, CDG mutations, external-output buffering, message
+// sends/deliveries — is recorded as a structured Event instead of a
+// free-form timeline label.  The taxonomy is deliberately flat: one struct
+// with kind-specific fields, so the recorder stays a plain vector and
+// exporters can pattern-match on `kind` without a visitor hierarchy.
+//
+// The obs layer depends only on util/sim (ids, virtual time); guesses are
+// mirrored as GuessRef rather than spec::GuessId so the speculation layer
+// can depend on obs without a cycle.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+#include "util/ids.h"
+
+namespace ocsp::obs {
+
+enum class EventKind : std::uint8_t {
+  kIntervalBegin,      ///< a fork opened a new speculative interval (S2)
+  kFork,               ///< fork executed (speculative or sequential)
+  kJoin,               ///< left thread reached its join
+  kCommit,             ///< a guess committed (recorded by its owner)
+  kAbort,              ///< a guess aborted; `reason` says why
+  kRollback,           ///< a rollback restored an earlier state index
+  kGuessMade,          ///< predictor produced guessed values at a fork
+  kGuessVerified,      ///< join found every guessed value correct
+  kGuessFailed,        ///< join found at least one guessed value wrong
+  kControlSent,        ///< COMMIT/ABORT/PRECEDENCE distribution initiated
+  kControlReceived,    ///< control message processed at a receiver
+  kCdgEdgeAdded,       ///< PRECEDENCE added an edge to a local CDG
+  kCdgCycleDetected,   ///< a CDG edge closed a cycle (time fault)
+  kExternalBuffered,   ///< external output held back by a non-empty guard
+  kExternalReleased,   ///< external output released (committed)
+  kExternalDiscarded,  ///< buffered external output destroyed by an abort
+  kMsgSent,            ///< network accepted a message for delivery
+  kMsgDelivered,       ///< network delivered a message
+};
+inline constexpr std::size_t kEventKindCount = 18;
+
+enum class AbortReason : std::uint8_t {
+  kNone,
+  kValueFault,  ///< verifier found a wrong guessed value (4.2.5)
+  kTimeFault,   ///< happens-before cycle: self-check, CDG cycle, or
+                ///< future-thread rule (4.2.3, 4.2.8)
+  kTimeout,     ///< liveness timeout on the left thread or join wait (3.3)
+  kCascade,     ///< dependency on a remotely/locally aborted guess (4.2.7)
+};
+inline constexpr std::size_t kAbortReasonCount = 5;
+
+enum class ControlType : std::uint8_t { kNone, kCommit, kAbort, kPrecedence };
+
+/// Owner-qualified guess reference; mirrors spec::GuessId.
+struct GuessRef {
+  ProcessId owner = kNoProcess;
+  std::uint32_t incarnation = 0;
+  std::uint32_t index = 0;
+
+  auto operator<=>(const GuessRef&) const = default;
+  bool valid() const { return owner != kNoProcess; }
+  std::string to_string() const;
+};
+
+struct Event {
+  EventKind kind = EventKind::kIntervalBegin;
+  sim::Time when = 0;
+  ProcessId process = kNoProcess;  ///< recording process
+  ProcessId peer = kNoProcess;     ///< other endpoint (messages)
+  std::uint32_t thread = 0;        ///< thread index within `process`
+  std::uint32_t interval = 0;      ///< interval within `thread`
+  std::uint32_t incarnation = 0;   ///< recording process's incarnation
+  GuessRef guess;                  ///< primary subject guess
+  GuessRef guess_from;             ///< CDG edge source (kCdgEdgeAdded)
+  AbortReason reason = AbortReason::kNone;
+  ControlType control = ControlType::kNone;
+  MsgId msg_id = 0;
+  std::uint64_t a = 0;  ///< kind-specific: fan-out, threads killed, ...
+  std::uint64_t b = 0;  ///< kind-specific: messages requeued, dwell ns, ...
+  std::string detail;   ///< fork site, message description, fine reason
+};
+
+const char* to_string(EventKind k);
+const char* to_string(AbortReason r);
+const char* to_string(ControlType c);
+std::string to_string(const Event& e);
+
+}  // namespace ocsp::obs

@@ -1,0 +1,92 @@
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace ocsp::obs {
+
+std::uint64_t MetricsRegistry::counter_or(const std::string& name,
+                                          std::uint64_t fallback) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second;
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name,
+                                            double lo, double hi,
+                                            std::size_t buckets) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, util::Histogram(lo, hi, buckets)).first;
+  } else {
+    OCSP_CHECK_MSG(it->second.lo() == lo && it->second.hi() == hi &&
+                       it->second.bucket_count() == buckets,
+                   ("histogram shape mismatch: " + name).c_str());
+  }
+  return it->second;
+}
+
+const util::Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, acc] : other.accumulators_) {
+    accumulators_[name].merge(acc);
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+  // Gauges are derived values; merging them (sum? mean?) would be wrong for
+  // ratios like guess_accuracy, so callers recompute them after the merge.
+}
+
+void MetricsRegistry::write_json(util::JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters_) w.key(name).value(v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges_) w.key(name).value(v);
+  w.end_object();
+  w.key("accumulators").begin_object();
+  for (const auto& [name, acc] : accumulators_) {
+    w.key(name).begin_object();
+    w.key("count").value(static_cast<std::uint64_t>(acc.count()));
+    w.key("mean").value(acc.mean());
+    w.key("stddev").value(acc.stddev());
+    w.key("min").value(acc.min());
+    w.key("max").value(acc.max());
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.key("lo").value(h.lo());
+    w.key("hi").value(h.hi());
+    w.key("total").value(h.total());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+      w.value(h.bucket(i));
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  util::JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+}  // namespace ocsp::obs

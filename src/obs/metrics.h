@@ -1,0 +1,85 @@
+// MetricsRegistry: named counters, gauges, accumulators, and histograms.
+//
+// Each SpeculativeProcess populates a registry while it runs (histograms
+// that need per-event resolution) and exports its SpecStats counters into
+// it on demand; Runtime::metrics() merges the per-process registries plus
+// kernel- and network-level gauges into one run-wide view.  merge() is the
+// per-process→global step: counters add, accumulators combine (Welford),
+// histograms add bucketwise (same-shape CHECKed), gauges are derived
+// values recomputed after merging and are therefore not merged.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace ocsp::obs {
+
+class MetricsRegistry {
+ public:
+  /// Get-or-create a counter.
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  std::uint64_t counter_or(const std::string& name,
+                           std::uint64_t fallback = 0) const;
+
+  /// Gauges hold derived values (ratios, peaks); recompute after merge().
+  double& gauge(const std::string& name) { return gauges_[name]; }
+
+  util::Accumulator& accumulator(const std::string& name) {
+    return accumulators_[name];
+  }
+
+  /// Get-or-create a fixed-shape histogram; CHECKs the shape matches when
+  /// the name already exists.
+  util::Histogram& histogram(const std::string& name, double lo, double hi,
+                             std::size_t buckets);
+  const util::Histogram* find_histogram(const std::string& name) const;
+
+  void merge(const MetricsRegistry& other);
+
+  /// {"counters":{...},"gauges":{...},"accumulators":{...},
+  ///  "histograms":{...}} — the compact metrics-snapshot format.
+  void write_json(util::JsonWriter& w) const;
+  std::string to_json() const;
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, util::Accumulator>& accumulators() const {
+    return accumulators_;
+  }
+  const std::map<std::string, util::Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, util::Accumulator> accumulators_;
+  std::map<std::string, util::Histogram> histograms_;
+};
+
+// Canonical histogram shapes.  Every producer must create these through the
+// helpers so per-process instances stay mergeable.
+inline util::Histogram& rollback_distance_hist(MetricsRegistry& m) {
+  return m.histogram("rollback_distance", 0, 32, 32);
+}
+inline util::Histogram& speculation_depth_hist(MetricsRegistry& m) {
+  return m.histogram("speculation_depth", 0, 32, 32);
+}
+inline util::Histogram& abort_cascade_depth_hist(MetricsRegistry& m) {
+  return m.histogram("abort_cascade_depth", 0, 32, 32);
+}
+inline util::Histogram& control_fanout_hist(MetricsRegistry& m) {
+  return m.histogram("control_fanout", 0, 32, 32);
+}
+/// External-output dwell time between buffering and release, microseconds.
+inline util::Histogram& external_dwell_hist(MetricsRegistry& m) {
+  return m.histogram("external_dwell_us", 0, 100000, 50);
+}
+
+}  // namespace ocsp::obs

@@ -1,5 +1,6 @@
 #include "sim/scheduler.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/check.h"
@@ -11,6 +12,7 @@ Scheduler::Handle Scheduler::at(Time t, Callback cb) {
   const std::uint64_t seq = next_seq_++;
   queue_.push(Entry{t, seq, std::move(cb)});
   pending_seqs_.insert(seq);
+  peak_pending_ = std::max(peak_pending_, pending_seqs_.size());
   return Handle{seq};
 }
 

@@ -51,6 +51,9 @@ class Scheduler {
   std::size_t pending() const { return pending_seqs_.size(); }
   std::uint64_t fired_count() const { return fired_count_; }
 
+  /// High-water mark of the pending-event queue (kernel load gauge).
+  std::size_t peak_pending() const { return peak_pending_; }
+
  private:
   struct Entry {
     Time when;
@@ -70,6 +73,7 @@ class Scheduler {
   Time now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_count_ = 0;
+  std::size_t peak_pending_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   std::unordered_set<std::uint64_t> pending_seqs_;
 };

@@ -4,11 +4,27 @@
 
 namespace ocsp::spec {
 
+const char* predictor_kind_name(csp::PredictorSpec::Kind kind) {
+  using Kind = csp::PredictorSpec::Kind;
+  switch (kind) {
+    case Kind::kConstant:
+      return "constant";
+    case Kind::kExpr:
+      return "expr";
+    case Kind::kLastCommitted:
+      return "last-committed";
+    case Kind::kStride:
+      return "stride";
+  }
+  return "?";
+}
+
 csp::Value PredictorState::guess(const std::string& site,
                                  const std::string& variable,
                                  const csp::PredictorSpec& spec,
-                                 const csp::Env& fork_env) const {
+                                 const csp::Env& fork_env) {
   using Kind = csp::PredictorSpec::Kind;
+  accuracy_[{site, variable}].predictor = predictor_kind_name(spec.kind);
   switch (spec.kind) {
     case Kind::kConstant:
       return spec.constant;
@@ -32,6 +48,16 @@ void PredictorState::observe(const std::string& site,
                              const std::string& variable,
                              const csp::Value& actual) {
   last_actual_[{site, variable}] = actual;
+}
+
+void PredictorState::record_result(const std::string& site,
+                                   const std::string& variable, bool hit) {
+  Accuracy& acc = accuracy_[{site, variable}];
+  if (hit) {
+    ++acc.hits;
+  } else {
+    ++acc.misses;
+  }
 }
 
 }  // namespace ocsp::spec

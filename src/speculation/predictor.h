@@ -4,24 +4,31 @@
 // from a compiler-determined predictor function applied to the fork-point
 // state.  PredictorState additionally implements the history-based kinds
 // (last-committed, stride), which need a per-site cache of actual values
-// observed at successful joins.
+// observed at successful joins, and tracks per-(site, variable) hit/miss
+// counts so the observability layer can report guess accuracy broken down
+// by predictor.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "csp/env.h"
 #include "csp/program.h"
 
 namespace ocsp::spec {
 
+/// Human-readable name of a predictor kind ("constant", "expr", ...).
+const char* predictor_kind_name(csp::PredictorSpec::Kind kind);
+
 class PredictorState {
  public:
   /// Guess the value of `variable` at fork site `site` given the fork-point
-  /// environment.
+  /// environment.  Remembers which predictor kind produced the guess so
+  /// record_result() can attribute the outcome.
   csp::Value guess(const std::string& site, const std::string& variable,
-                   const csp::PredictorSpec& spec,
-                   const csp::Env& fork_env) const;
+                   const csp::PredictorSpec& spec, const csp::Env& fork_env);
 
   /// Feed back the actual value observed when the left thread completed.
   /// Called at every join (commit or value fault) so the next instance of
@@ -29,9 +36,27 @@ class PredictorState {
   void observe(const std::string& site, const std::string& variable,
                const csp::Value& actual);
 
+  /// Per-(site, variable) prediction outcome, fed by the join verifier.
+  struct Accuracy {
+    std::string predictor;  ///< kind name of the most recent guess
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Record whether the guess for (site, variable) matched the actual
+  /// value at the join.
+  void record_result(const std::string& site, const std::string& variable,
+                     bool hit);
+
+  const std::map<std::pair<std::string, std::string>, Accuracy>& accuracy()
+      const {
+    return accuracy_;
+  }
+
  private:
   // (site, variable) -> last actual value seen
   std::map<std::pair<std::string, std::string>, csp::Value> last_actual_;
+  std::map<std::pair<std::string, std::string>, Accuracy> accuracy_;
 };
 
 }  // namespace ocsp::spec

@@ -42,6 +42,62 @@ void SpeculativeProcess::start() {
 
 trace::Timeline& SpeculativeProcess::timeline() { return runtime_.timeline(); }
 
+obs::RunRecorder& SpeculativeProcess::recorder() { return runtime_.recorder(); }
+
+obs::GuessRef SpeculativeProcess::guess_ref(const GuessId& g) {
+  return obs::GuessRef{g.owner, g.incarnation, g.index};
+}
+
+obs::ControlType SpeculativeProcess::obs_control(ControlKind kind) {
+  switch (kind) {
+    case ControlKind::kCommit:
+      return obs::ControlType::kCommit;
+    case ControlKind::kAbort:
+      return obs::ControlType::kAbort;
+    case ControlKind::kPrecedence:
+      return obs::ControlType::kPrecedence;
+  }
+  return obs::ControlType::kNone;
+}
+
+obs::Event SpeculativeProcess::make_event(obs::EventKind kind) const {
+  obs::Event ev;
+  ev.kind = kind;
+  ev.when = runtime_.scheduler().now();
+  ev.process = id_;
+  ev.incarnation = incarnation_;
+  return ev;
+}
+
+void SpeculativeProcess::record_abort(const GuessId& g,
+                                      obs::AbortReason reason,
+                                      const char* detail) {
+  obs::Event ev = make_event(obs::EventKind::kAbort);
+  ev.guess = guess_ref(g);
+  ev.thread = g.index;
+  ev.reason = reason;
+  ev.detail = detail;
+  recorder().record(std::move(ev));
+}
+
+obs::MetricsRegistry SpeculativeProcess::metrics_view() const {
+  obs::MetricsRegistry m = live_metrics_;
+  stats_.export_to(m);
+  for (const auto& [key, acc] : predictors_.accuracy()) {
+    const std::string base =
+        "predictor/" + key.first + "." + key.second + "/";
+    m.counter(base + "hits") += acc.hits;
+    m.counter(base + "misses") += acc.misses;
+  }
+  const std::uint64_t verified = m.counter_or("guesses_verified");
+  const std::uint64_t failed = m.counter_or("guesses_failed");
+  if (verified + failed > 0) {
+    m.gauge("guess_accuracy") = static_cast<double>(verified) /
+                                static_cast<double>(verified + failed);
+  }
+  return m;
+}
+
 ProcessId SpeculativeProcess::resolve(const std::string& target) const {
   return runtime_.find(target);
 }
@@ -142,7 +198,17 @@ bool SpeculativeProcess::handle_effect(ThreadCtx& t, csp::Effect effect) {
       ev.kind = trace::ObservableEvent::Kind::kExternalOutput;
       ev.process = id_;
       ev.data = effect.value;
-      if (!t.guard.empty()) ++stats_.externals_buffered;
+      if (!t.guard.empty()) {
+        ++stats_.externals_buffered;
+        const std::size_t pos = t.event_log.size();
+        external_buffered_at_[{t.index, pos}] = runtime_.scheduler().now();
+        obs::Event oe = make_event(obs::EventKind::kExternalBuffered);
+        oe.thread = t.index;
+        oe.interval = t.interval;
+        oe.a = pos;
+        oe.detail = effect.value.to_string();
+        recorder().record(std::move(oe));
+      }
       record_event(t, std::move(ev));
       return true;
     }
@@ -240,6 +306,20 @@ void SpeculativeProcess::flush_events(ThreadCtx& t) {
       // Flushing commits the event; external outputs are released to the
       // outside world at this moment (section 3.1's buffering rule).
       ++stats_.externals_released;
+      obs::Event oe = make_event(obs::EventKind::kExternalReleased);
+      oe.thread = t.index;
+      oe.a = t.flushed_count;
+      auto buffered = external_buffered_at_.find({t.index, t.flushed_count});
+      if (buffered != external_buffered_at_.end()) {
+        const sim::Time dwell =
+            runtime_.scheduler().now() - buffered->second;
+        oe.b = static_cast<std::uint64_t>(dwell);
+        obs::external_dwell_hist(live_metrics_)
+            .add(static_cast<double>(dwell) / 1000.0);
+        external_buffered_at_.erase(buffered);
+      }
+      oe.detail = e.data.to_string();
+      recorder().record(std::move(oe));
       timeline().record({trace::TimelineEntry::Kind::kExternalRelease,
                          runtime_.scheduler().now(), id_, kNoProcess,
                          e.data.to_string()});

@@ -33,6 +33,9 @@
 #include "csp/machine.h"
 #include "net/envelope.h"
 #include "net/network.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sim/scheduler.h"
 #include "speculation/cdg.h"
 #include "speculation/config.h"
@@ -136,6 +139,13 @@ class SpeculativeProcess {
 
   const SpecStats& stats() const { return stats_; }
   const HistoryTable& history() const { return history_; }
+  const PredictorState& predictors() const { return predictors_; }
+
+  /// Snapshot of this process's metrics: the SpecStats counters, the live
+  /// histograms (speculation depth, rollback distance, cascade depth,
+  /// control fan-out, external dwell), guess counters, per-site predictor
+  /// accuracy, and the per-process guess_accuracy gauge.
+  obs::MetricsRegistry metrics_view() const;
 
   /// Committed observable events in logical (program) order.
   const std::vector<trace::ObservableEvent>& committed_events() const {
@@ -223,6 +233,16 @@ class SpeculativeProcess {
   ProcessId resolve(const std::string& name) const;
   trace::Timeline& timeline();
 
+  // ---- observability -------------------------------------------------------
+  obs::RunRecorder& recorder();
+  /// Event pre-filled with kind, virtual time, process id, incarnation.
+  obs::Event make_event(obs::EventKind kind) const;
+  static obs::GuessRef guess_ref(const GuessId& g);
+  static obs::ControlType obs_control(ControlKind kind);
+  /// Record the kAbort event adjacent to the ++stats_.aborts_* increment.
+  void record_abort(const GuessId& g, obs::AbortReason reason,
+                    const char* detail);
+
   Runtime& runtime_;
   ProcessId id_;
   std::string name_;
@@ -236,6 +256,14 @@ class SpeculativeProcess {
   HistoryTable history_;
   PredictorState predictors_;
   SpecStats stats_;
+
+  /// Histograms and guess counters that need per-event resolution; the
+  /// SpecStats counters are joined in by metrics_view().
+  obs::MetricsRegistry live_metrics_;
+  /// (thread index, event-log position) -> buffering time, feeding the
+  /// external-output dwell histogram at release.
+  std::map<std::pair<std::uint32_t, std::size_t>, sim::Time>
+      external_buffered_at_;
 
   /// Consecutive own-guess aborts per fork site (liveness limit L).
   std::map<std::string, int> site_aborts_;

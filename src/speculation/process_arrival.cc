@@ -15,6 +15,14 @@ namespace ocsp::spec {
 
 void SpeculativeProcess::on_message(const net::Envelope& env) {
   if (auto ctl = std::dynamic_pointer_cast<const ControlMessage>(env.payload)) {
+    {
+      obs::Event ev = make_event(obs::EventKind::kControlReceived);
+      ev.peer = env.src;
+      ev.guess = guess_ref(ctl->subject);
+      ev.control = obs_control(ctl->control);
+      ev.msg_id = env.id;
+      recorder().record(std::move(ev));
+    }
     switch (ctl->control) {
       case ControlKind::kCommit:
         on_commit_msg(ctl->subject);
@@ -50,10 +58,21 @@ void SpeculativeProcess::forward_control(ControlKind kind,
   auto msg = std::make_shared<ControlMessage>();
   msg->control = kind;
   msg->subject = subject;
+  std::uint64_t fanout = 0;
   for (ProcessId dst : it->second) {
     if (dst == id_ || dst == from || dst == subject.owner) continue;
     ++stats_.control_sent;
+    ++fanout;
     runtime_.network().send(id_, dst, msg);
+  }
+  if (fanout > 0) {
+    obs::Event ev = make_event(obs::EventKind::kControlSent);
+    ev.guess = guess_ref(subject);
+    ev.control = obs_control(kind);
+    ev.a = fanout;
+    ev.detail = "forward";
+    recorder().record(std::move(ev));
+    obs::control_fanout_hist(live_metrics_).add(static_cast<double>(fanout));
   }
 }
 
@@ -125,6 +144,8 @@ bool SpeculativeProcess::try_deliver(const net::Envelope& env) {
         own_in_tag.index > tidx &&
         history_.status(own_in_tag) == GuessStatus::kUnknown) {
       ++stats_.aborts_time_fault;
+      record_abort(own_in_tag, obs::AbortReason::kTimeFault,
+                   "future-thread-return");
       abort_own_guess(own_in_tag, "future-thread-return");
       after_guard_change();
       ++stats_.orphans_discarded;
@@ -223,6 +244,10 @@ void SpeculativeProcess::accept_message(ThreadCtx& t,
     t.cdg.add_node(g);
     t.rollbacks[g] = rollback_point;
     history_.peer(g.owner).set_status(g, GuessStatus::kUnknown);
+  }
+  if (!newguards.empty()) {
+    obs::speculation_depth_hist(live_metrics_)
+        .add(static_cast<double>(t.guard.size()));
   }
 
   input_log_.push_back(LoggedInput{current_index(t), rollback_point, env});

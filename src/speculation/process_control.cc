@@ -40,6 +40,18 @@ void SpeculativeProcess::distribute_control(ControlKind kind,
     auto it = spread_.find(subject);
     if (it != spread_.end()) recipients = it->second;
   }
+  {
+    std::uint64_t fanout = 0;
+    for (ProcessId dst : recipients) {
+      if (dst != id_) ++fanout;
+    }
+    obs::Event ev = make_event(obs::EventKind::kControlSent);
+    ev.guess = guess_ref(subject);
+    ev.control = obs_control(kind);
+    ev.a = fanout;
+    recorder().record(std::move(ev));
+    obs::control_fanout_hist(live_metrics_).add(static_cast<double>(fanout));
+  }
   const int repeats =
       config_.control_retry ? config_.control_retry_limit : 1;
   for (ProcessId dst : recipients) {
@@ -99,6 +111,7 @@ void SpeculativeProcess::commit_guess_local(const GuessId& g) {
 void SpeculativeProcess::on_abort_msg(const GuessId& g) {
   if (history_.status(g) == GuessStatus::kAborted) return;
   ++stats_.aborts_cascade;
+  record_abort(g, obs::AbortReason::kCascade, "remote-abort");
   abort_guess_local(g);
 }
 
@@ -192,15 +205,20 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
     max_thread_ = g.index == 0 ? 0 : g.index - 1;
   }
   distribute_control(ControlKind::kAbort, g, {});
+  std::uint64_t cascaded = 0;
   for (const auto& c : cascade) {
     if (c == g) continue;
     if (history_.status(c) == GuessStatus::kUnknown) {
       history_.peer(id_).set_status(c, GuessStatus::kAborted);
       history_.peer(id_).observe_incarnation(c.incarnation + 1, c.index);
       ++stats_.aborts_cascade;
+      ++cascaded;
+      record_abort(c, obs::AbortReason::kCascade, "killed-with-thread");
       distribute_control(ControlKind::kAbort, c, {});
     }
   }
+  obs::abort_cascade_depth_hist(live_metrics_)
+      .add(static_cast<double>(cascaded));
 
   // Threads below g.index may have been contaminated by g through message
   // tags (the Figure 4 time fault); run the generic abort machinery.
@@ -246,6 +264,12 @@ void SpeculativeProcess::kill_thread(std::uint32_t index,
   for (std::size_t i = t.flushed_count; i < t.event_log.size(); ++i) {
     if (t.event_log[i].kind == trace::ObservableEvent::Kind::kExternalOutput) {
       ++stats_.externals_discarded;
+      obs::Event ev = make_event(obs::EventKind::kExternalDiscarded);
+      ev.thread = t.index;
+      ev.a = i;
+      ev.detail = t.event_log[i].data.to_string();
+      recorder().record(std::move(ev));
+      external_buffered_at_.erase({t.index, i});
     }
   }
   threads_.erase(it);
@@ -257,6 +281,12 @@ void SpeculativeProcess::rollback_to(const StateIndex& target,
   timeline().record({trace::TimelineEntry::Kind::kRollback,
                      runtime_.scheduler().now(), id_, kNoProcess,
                      target.to_string()});
+
+  // Rollback distance: how many intervals the target thread is wound back.
+  std::uint32_t pre_interval = target.interval;
+  if (auto tgt = threads_.find(target.thread); tgt != threads_.end()) {
+    pre_interval = std::max(pre_interval, tgt->second.interval);
+  }
 
   // Kill every thread created after the restore point; the target thread
   // itself is restored (or killed too, for an own-guess abort at creation).
@@ -300,14 +330,19 @@ void SpeculativeProcess::rollback_to(const StateIndex& target,
   max_thread_ = threads_.empty() ? 0 : threads_.rbegin()->first;
 
   // Cascade aborts for our own guesses that died with the killed threads.
+  std::uint64_t cascaded = 0;
   for (const auto& c : cascade) {
     if (history_.status(c) == GuessStatus::kUnknown) {
       history_.peer(id_).set_status(c, GuessStatus::kAborted);
       history_.peer(id_).observe_incarnation(c.incarnation + 1, c.index);
       ++stats_.aborts_cascade;
+      ++cascaded;
+      record_abort(c, obs::AbortReason::kCascade, "killed-by-rollback");
       distribute_control(ControlKind::kAbort, c, {});
     }
   }
+  obs::abort_cascade_depth_hist(live_metrics_)
+      .add(static_cast<double>(cascaded));
   // Parents whose speculative child died must re-execute S2 at their join.
   for (auto& [idx, t] : threads_) {
     if (!t.has_pending_join || t.join_guess_aborted) continue;
@@ -342,6 +377,17 @@ void SpeculativeProcess::rollback_to(const StateIndex& target,
     }
   }
   input_log_ = std::move(kept);
+  {
+    obs::Event ev = make_event(obs::EventKind::kRollback);
+    ev.thread = target.thread;
+    ev.interval = target.interval;
+    ev.a = doomed.size();
+    ev.b = requeued.size();
+    ev.detail = target.to_string();
+    recorder().record(std::move(ev));
+    obs::rollback_distance_hist(live_metrics_)
+        .add(static_cast<double>(pre_interval - target.interval));
+  }
   for (auto it = requeued.rbegin(); it != requeued.rend(); ++it) {
     pending_.push_front(*it);
   }
@@ -535,6 +581,8 @@ void SpeculativeProcess::restore_thread(const StateIndex& target) {
       history_.peer(id_).observe_incarnation(
           restored.join_guess.incarnation + 1, restored.join_guess.index);
       ++stats_.aborts_cascade;
+      record_abort(restored.join_guess, obs::AbortReason::kCascade,
+                   "zombie-checkpoint");
       distribute_control(ControlKind::kAbort, restored.join_guess, {});
     }
     return;
@@ -597,6 +645,21 @@ void SpeculativeProcess::on_precedence_msg(const GuessId& subject,
       if (!t.cdg.has_node(h) && !t.cdg.has_node(subject)) continue;
       if (t.cdg.has_edge(h, subject)) continue;
       std::vector<GuessId> cycle = t.cdg.add_edge(h, subject);
+      {
+        obs::Event ev = make_event(obs::EventKind::kCdgEdgeAdded);
+        ev.thread = idx;
+        ev.guess = guess_ref(subject);
+        ev.guess_from = guess_ref(h);
+        recorder().record(std::move(ev));
+      }
+      if (!cycle.empty()) {
+        obs::Event ev = make_event(obs::EventKind::kCdgCycleDetected);
+        ev.thread = idx;
+        ev.guess = guess_ref(subject);
+        ev.guess_from = guess_ref(h);
+        ev.a = cycle.size();
+        recorder().record(std::move(ev));
+      }
       for (const auto& c : cycle) {
         if (c.owner == id_ &&
             history_.status(c) == GuessStatus::kUnknown &&
@@ -609,6 +672,7 @@ void SpeculativeProcess::on_precedence_msg(const GuessId& subject,
   }
   for (const auto& c : own_to_abort) {
     ++stats_.aborts_time_fault;
+    record_abort(c, obs::AbortReason::kTimeFault, "precedence-cycle");
     abort_own_guess(c, "precedence-cycle");
   }
 }

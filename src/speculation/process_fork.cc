@@ -68,6 +68,17 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
     timeline().record({trace::TimelineEntry::Kind::kFork,
                        runtime_.scheduler().now(), id_, kNoProcess,
                        "sequential site=" + f.site});
+    {
+      obs::Event fe = make_event(obs::EventKind::kFork);
+      fe.thread = t.index;
+      fe.interval = t.interval;
+      fe.detail = f.site;
+      recorder().record(std::move(fe));
+      obs::Event ie = make_event(obs::EventKind::kIntervalBegin);
+      ie.thread = t.join_right_index;
+      ie.detail = f.site;
+      recorder().record(std::move(ie));
+    }
     ++t.interval;  // give the post-fork state its own index
     if (config_.rollback == RollbackStrategy::kReplayFromLog) {
       take_checkpoint(t);
@@ -111,9 +122,33 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   timeline().record({trace::TimelineEntry::Kind::kFork,
                      runtime_.scheduler().now(), id_, kNoProcess,
                      guess.to_string() + " site=" + f.site});
+  {
+    obs::Event fe = make_event(obs::EventKind::kFork);
+    fe.thread = t.index;
+    fe.interval = t.interval;
+    fe.guess = guess_ref(guess);
+    fe.a = 1;  // speculative
+    fe.detail = f.site;
+    recorder().record(std::move(fe));
+    obs::Event ie = make_event(obs::EventKind::kIntervalBegin);
+    ie.thread = new_index;
+    ie.guess = guess_ref(guess);
+    ie.a = 1;
+    ie.detail = f.site;
+    recorder().record(std::move(ie));
+    obs::Event ge = make_event(obs::EventKind::kGuessMade);
+    ge.thread = new_index;
+    ge.guess = guess_ref(guess);
+    ge.a = f.passed.size();
+    ge.detail = f.site;
+    recorder().record(std::move(ge));
+    ++live_metrics_.counter("guesses_made");
+  }
 
   auto [it, inserted] = threads_.emplace(new_index, std::move(r));
   OCSP_CHECK_MSG(inserted, "thread index reuse without kill");
+  obs::speculation_depth_hist(live_metrics_)
+      .add(static_cast<double>(it->second.guard.size()));
   take_checkpoint(it->second);
   ++it->second.interval;  // keep the creation checkpoint key unique
   schedule_step(new_index);
@@ -145,13 +180,40 @@ void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
   timeline().record({trace::TimelineEntry::Kind::kJoin,
                      runtime_.scheduler().now(), id_, kNoProcess,
                      sequential ? "sequential" : left.join_guess.to_string()});
+  {
+    obs::Event je = make_event(obs::EventKind::kJoin);
+    je.thread = left.index;
+    je.interval = left.interval;
+    if (!sequential) je.guess = guess_ref(left.join_guess);
+    je.detail = sequential ? "sequential" : left.join_site;
+    recorder().record(std::move(je));
+  }
 
   if (!sequential) cancel_fork_timer(left.join_guess);
 
-  // Feed the predictor caches with the actual values.
+  // Feed the predictor caches with the actual values, and verify the
+  // guesses (the verifier of section 4.2.5).  Accuracy is recorded even
+  // when the guess already died from a timeout or cascade: prediction
+  // quality is independent of the guess's fate.
+  bool value_fault = false;
   for (const auto& v : left.join_passed) {
-    predictors_.observe(left.join_site, v,
-                        left.machine.env().get_or(v, csp::Value()));
+    const csp::Value actual = left.machine.env().get_or(v, csp::Value());
+    predictors_.observe(left.join_site, v, actual);
+    if (!sequential) {
+      const bool hit = actual == left.join_guessed.at(v);
+      predictors_.record_result(left.join_site, v, hit);
+      if (!hit) value_fault = true;
+    }
+  }
+  if (!sequential) {
+    obs::Event ge = make_event(value_fault ? obs::EventKind::kGuessFailed
+                                           : obs::EventKind::kGuessVerified);
+    ge.thread = left.index;
+    ge.guess = guess_ref(left.join_guess);
+    ge.detail = left.join_site;
+    recorder().record(std::move(ge));
+    ++live_metrics_.counter(value_fault ? "guesses_failed"
+                                        : "guesses_verified");
   }
 
   if (sequential || left.join_guess_aborted) {
@@ -162,16 +224,6 @@ void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
   }
 
   const GuessId guess = left.join_guess;
-
-  // Value-fault check (the verifier of section 4.2.5).
-  bool value_fault = false;
-  for (const auto& v : left.join_passed) {
-    const csp::Value actual = left.machine.env().get_or(v, csp::Value());
-    if (!(actual == left.join_guessed.at(v))) {
-      value_fault = true;
-      break;
-    }
-  }
   const std::uint32_t left_index = left.index;
   // A helper for the fault paths: abort processing may roll the left thread
   // itself back (time fault: it acquired its own guess through a tainted
@@ -191,6 +243,7 @@ void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
 
   if (value_fault) {
     ++stats_.aborts_value_fault;
+    record_abort(guess, obs::AbortReason::kValueFault, "value-fault");
     abort_and_maybe_reexecute("value-fault");
     return;
   }
@@ -199,6 +252,7 @@ void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
   // termination point, S1 causally follows S2 (Figure 4).
   if (left.guard.covers(guess)) {
     ++stats_.aborts_time_fault;
+    record_abort(guess, obs::AbortReason::kTimeFault, "time-fault");
     abort_and_maybe_reexecute("time-fault");
     return;
   }
@@ -236,6 +290,13 @@ void SpeculativeProcess::finalize_join_commit(ThreadCtx& left) {
   OCSP_CHECK(guess.valid());
   cancel_fork_timer(guess);
   ++stats_.commits;
+  {
+    obs::Event ce = make_event(obs::EventKind::kCommit);
+    ce.thread = left.index;
+    ce.guess = guess_ref(guess);
+    ce.detail = left.join_site;
+    recorder().record(std::move(ce));
+  }
   site_aborts_[left.join_site] = 0;
   left.phase = ThreadCtx::Phase::kTerminated;
   left.has_pending_join = false;
@@ -289,6 +350,7 @@ void SpeculativeProcess::on_fork_timeout(GuessId guess) {
   // section 3.3): the guess aborts, the left thread keeps running, and S2
   // re-executes pessimistically once S1 eventually completes.
   ++stats_.aborts_timeout;
+  record_abort(guess, obs::AbortReason::kTimeout, "timeout");
   abort_own_guess(guess, "timeout");
   after_guard_change();
 }
@@ -296,6 +358,7 @@ void SpeculativeProcess::on_fork_timeout(GuessId guess) {
 void SpeculativeProcess::on_join_wait_timeout(GuessId guess) {
   if (history_.status(guess) != GuessStatus::kUnknown) return;
   ++stats_.aborts_timeout;
+  record_abort(guess, obs::AbortReason::kTimeout, "join-wait-timeout");
   abort_own_guess(guess, "join-wait-timeout");
   after_guard_change();
 }

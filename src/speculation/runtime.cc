@@ -7,8 +7,47 @@ namespace ocsp::spec {
 Runtime::Runtime(RuntimeOptions options)
     : options_(std::move(options)),
       rng_(options_.seed),
-      network_(scheduler_, rng_.split()) {
+      network_(scheduler_, rng_.split()),
+      recorder_(std::make_shared<obs::RunRecorder>()) {
   network_.set_default_link(options_.default_link);
+  network_.set_send_tracer([this](const net::Envelope& env) {
+    record_msg_event(obs::EventKind::kMsgSent, env);
+  });
+  network_.set_tracer([this](const net::Envelope& env) {
+    record_msg_event(obs::EventKind::kMsgDelivered, env);
+  });
+}
+
+void Runtime::record_msg_event(obs::EventKind kind,
+                               const net::Envelope& env) {
+  const bool sent = kind == obs::EventKind::kMsgSent;
+  obs::Event ev;
+  ev.kind = kind;
+  ev.when = scheduler_.now();
+  ev.process = sent ? env.src : env.dst;
+  ev.peer = sent ? env.dst : env.src;
+  ev.msg_id = env.id;
+  ev.a = env.payload->wire_size();
+  // A send observed with delivered_at == 0 was dropped by the link.
+  ev.b = sent && env.delivered_at == 0 ? 1 : 0;
+  if (auto ctl =
+          std::dynamic_pointer_cast<const ControlMessage>(env.payload)) {
+    switch (ctl->control) {
+      case ControlKind::kCommit:
+        ev.control = obs::ControlType::kCommit;
+        break;
+      case ControlKind::kAbort:
+        ev.control = obs::ControlType::kAbort;
+        break;
+      case ControlKind::kPrecedence:
+        ev.control = obs::ControlType::kPrecedence;
+        break;
+    }
+    ev.guess = obs::GuessRef{ctl->subject.owner, ctl->subject.incarnation,
+                             ctl->subject.index};
+  }
+  ev.detail = env.payload->kind();
+  recorder_->record(std::move(ev));
 }
 
 ProcessId Runtime::add_process(std::string name, csp::StmtPtr program,
@@ -78,6 +117,37 @@ SpecStats Runtime::total_stats() const {
   SpecStats total;
   for (const auto& p : processes_) total.merge(p->stats());
   return total;
+}
+
+std::vector<std::string> Runtime::process_names() const {
+  std::vector<std::string> names;
+  names.reserve(processes_.size());
+  for (const auto& p : processes_) names.push_back(p->name());
+  return names;
+}
+
+obs::MetricsRegistry Runtime::process_metrics(ProcessId id) const {
+  return process(id).metrics_view();
+}
+
+obs::MetricsRegistry Runtime::metrics() const {
+  obs::MetricsRegistry m;
+  for (const auto& p : processes_) m.merge(p->metrics_view());
+  // Gauges are derived, not merged: recompute from the merged counters.
+  const std::uint64_t verified = m.counter_or("guesses_verified");
+  const std::uint64_t failed = m.counter_or("guesses_failed");
+  if (verified + failed > 0) {
+    m.gauge("guess_accuracy") = static_cast<double>(verified) /
+                                static_cast<double>(verified + failed);
+  }
+  m.counter("sim_events_fired") += scheduler_.fired_count();
+  m.gauge("sim_peak_pending") =
+      static_cast<double>(scheduler_.peak_pending());
+  m.counter("net_messages_sent") += network_.stats().messages_sent;
+  m.counter("net_messages_delivered") += network_.stats().messages_delivered;
+  m.counter("net_messages_dropped") += network_.stats().messages_dropped;
+  m.counter("net_bytes_sent") += network_.stats().bytes_sent;
+  return m;
 }
 
 sim::Time Runtime::last_completion_time() const {

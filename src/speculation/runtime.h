@@ -13,6 +13,8 @@
 #include "csp/env.h"
 #include "csp/program.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "sim/scheduler.h"
 #include "speculation/config.h"
 #include "speculation/process.h"
@@ -56,8 +58,27 @@ class Runtime {
   /// Committed observable events of every process (Theorem 1 oracle).
   trace::CommittedTrace committed_trace() const;
 
-  /// Sum of all processes' protocol counters.
+  /// Sum of all processes' protocol counters.  Legacy view; metrics()
+  /// carries the same counters plus histograms and derived gauges.
   SpecStats total_stats() const;
+
+  /// Structured event sink shared by every process, the network tracers,
+  /// and (via RunResult) the exporters.
+  obs::RunRecorder& recorder() { return *recorder_; }
+  const obs::RunRecorder& recorder() const { return *recorder_; }
+  std::shared_ptr<obs::RunRecorder> shared_recorder() const {
+    return recorder_;
+  }
+
+  /// Process names indexed by ProcessId (for trace export).
+  std::vector<std::string> process_names() const;
+
+  /// Metrics of one process: SpecStats counters + live histograms.
+  obs::MetricsRegistry process_metrics(ProcessId id) const;
+
+  /// Run-wide metrics: per-process registries merged, plus kernel and
+  /// network counters and the recomputed guess_accuracy gauge.
+  obs::MetricsRegistry metrics() const;
 
   /// Latest completion time among processes that completed (clients).
   sim::Time last_completion_time() const;
@@ -68,11 +89,14 @@ class Runtime {
   const RuntimeOptions& options() const { return options_; }
 
  private:
+  void record_msg_event(obs::EventKind kind, const net::Envelope& env);
+
   RuntimeOptions options_;
   util::Rng rng_;
   sim::Scheduler scheduler_;
   net::Network network_;
   trace::Timeline timeline_;
+  std::shared_ptr<obs::RunRecorder> recorder_;
   std::vector<std::unique_ptr<SpeculativeProcess>> processes_;
   std::map<std::string, ProcessId> names_;
   bool started_ = false;

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace ocsp::spec {
 
 std::string SpecStats::to_string() const {
@@ -19,6 +21,29 @@ std::string SpecStats::to_string() const {
      << "]"
      << " control=" << control_sent << " precedence=" << precedence_sent;
   return os.str();
+}
+
+void SpecStats::export_to(obs::MetricsRegistry& m) const {
+  m.counter("forks") += forks;
+  m.counter("sequential_forks") += sequential_forks;
+  m.counter("joins") += joins;
+  m.counter("commits") += commits;
+  m.counter("aborts_value_fault") += aborts_value_fault;
+  m.counter("aborts_time_fault") += aborts_time_fault;
+  m.counter("aborts_timeout") += aborts_timeout;
+  m.counter("aborts_cascade") += aborts_cascade;
+  m.counter("rollbacks") += rollbacks;
+  m.counter("checkpoints") += checkpoints;
+  m.counter("replays") += replays;
+  m.counter("orphans_discarded") += orphans_discarded;
+  m.counter("messages_redelivered") += messages_redelivered;
+  m.counter("externals_buffered") += externals_buffered;
+  m.counter("externals_released") += externals_released;
+  m.counter("externals_discarded") += externals_discarded;
+  m.counter("control_sent") += control_sent;
+  m.counter("precedence_sent") += precedence_sent;
+  m.counter("checkpoints_pruned") += checkpoints_pruned;
+  m.counter("log_entries_pruned") += log_entries_pruned;
 }
 
 }  // namespace ocsp::spec

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 
+namespace ocsp::obs {
+class MetricsRegistry;
+}
+
 namespace ocsp::spec {
 
 struct SpecStats {
@@ -57,6 +61,9 @@ struct SpecStats {
   }
 
   std::string to_string() const;
+
+  /// Add every counter to `m` under its field name (obs snapshot format).
+  void export_to(obs::MetricsRegistry& m) const;
 };
 
 }  // namespace ocsp::spec

@@ -1,0 +1,379 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace ocsp::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // key() already emitted the separator
+  }
+  if (!stack_.empty()) {
+    if (has_value_.back()) out_ += ',';
+    has_value_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  stack_.push_back('o');
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  OCSP_CHECK_MSG(!stack_.empty() && stack_.back() == 'o',
+                 "end_object without matching begin_object");
+  OCSP_CHECK_MSG(!pending_key_, "object key without a value");
+  out_ += '}';
+  stack_.pop_back();
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  stack_.push_back('a');
+  has_value_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  OCSP_CHECK_MSG(!stack_.empty() && stack_.back() == 'a',
+                 "end_array without matching begin_array");
+  out_ += ']';
+  stack_.pop_back();
+  has_value_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  OCSP_CHECK_MSG(!stack_.empty() && stack_.back() == 'o',
+                 "key() outside an object");
+  OCSP_CHECK_MSG(!pending_key_, "two keys in a row");
+  if (has_value_.back()) out_ += ',';
+  has_value_.back() = true;
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t i) {
+  comma();
+  out_ += std::to_string(i);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t u) {
+  comma();
+  out_ += std::to_string(u);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  OCSP_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+  return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (type != Type::kObject) return nullptr;
+  auto it = object.find(k);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(
+                                    static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue fail() {
+    failed = true;
+    return {};
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    ++pos;  // opening quote
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos];
+      if (c == '\\') {
+        if (pos + 1 >= text.size()) return fail();
+        char e = text[pos + 1];
+        pos += 2;
+        switch (e) {
+          case '"':
+            v.string += '"';
+            break;
+          case '\\':
+            v.string += '\\';
+            break;
+          case '/':
+            v.string += '/';
+            break;
+          case 'n':
+            v.string += '\n';
+            break;
+          case 'r':
+            v.string += '\r';
+            break;
+          case 't':
+            v.string += '\t';
+            break;
+          case 'b':
+            v.string += '\b';
+            break;
+          case 'f':
+            v.string += '\f';
+            break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail();
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text[pos + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail();
+              }
+            }
+            pos += 4;
+            // UTF-8 encode (no surrogate-pair handling; the exporters only
+            // escape control characters).
+            if (code < 0x80) {
+              v.string += static_cast<char>(code);
+            } else if (code < 0x800) {
+              v.string += static_cast<char>(0xC0 | (code >> 6));
+              v.string += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              v.string += static_cast<char>(0xE0 | (code >> 12));
+              v.string += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              v.string += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail();
+        }
+      } else {
+        v.string += c;
+        ++pos;
+      }
+    }
+    if (pos >= text.size()) return fail();
+    ++pos;  // closing quote
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos < text.size() && text[pos] == '.') {
+      ++pos;
+      eat_digits();
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+      eat_digits();
+    }
+    if (!digits) return fail();
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(std::string(text.substr(start, pos - start)).c_str(),
+                           nullptr);
+    return v;
+  }
+
+  JsonValue parse_value(int depth) {
+    if (depth > 256) return fail();
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      JsonValue v;
+      v.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (eat('}')) return v;
+      for (;;) {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != '"') return fail();
+        JsonValue k = parse_string();
+        if (failed) return {};
+        if (!eat(':')) return fail();
+        JsonValue val = parse_value(depth + 1);
+        if (failed) return {};
+        v.object.emplace(std::move(k.string), std::move(val));
+        if (eat(',')) continue;
+        if (eat('}')) return v;
+        return fail();
+      }
+    }
+    if (c == '[') {
+      ++pos;
+      JsonValue v;
+      v.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (eat(']')) return v;
+      for (;;) {
+        JsonValue val = parse_value(depth + 1);
+        if (failed) return {};
+        v.array.push_back(std::move(val));
+        if (eat(',')) continue;
+        if (eat(']')) return v;
+        return fail();
+      }
+    }
+    if (c == '"') return parse_string();
+    if (literal("true")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (literal("false")) {
+      JsonValue v;
+      v.type = JsonValue::Type::kBool;
+      return v;
+    }
+    if (literal("null")) return {};
+    return parse_number();
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value(0);
+  if (p.failed) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace ocsp::util

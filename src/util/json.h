@@ -1,0 +1,87 @@
+// Dependency-free JSON support for the observability exporters.
+//
+// JsonWriter is a streaming writer with correct string escaping and
+// nesting checks; exporters use it to emit Chrome trace-event files and
+// metrics snapshots without pulling in a third-party library.  The parser
+// half (JsonValue / json_parse) exists so tests can round-trip exported
+// files and assert structure instead of string-matching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ocsp::util {
+
+/// Escape `s` for inclusion inside a JSON string literal (no quotes added).
+std::string json_escape(std::string_view s);
+
+/// Streaming JSON writer.  Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("n").value(3);
+///   w.key("xs").begin_array().value(1.5).value("two").end_array();
+///   w.end_object();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be followed by exactly one value.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(std::int64_t i);
+  JsonWriter& value(std::uint64_t u);
+  JsonWriter& value(int i) { return value(static_cast<std::int64_t>(i)); }
+  JsonWriter& value(bool b);
+  JsonWriter& null();
+
+  /// The finished document.  CHECKs that every container was closed.
+  const std::string& str() const;
+
+ private:
+  void comma();
+
+  std::string out_;
+  /// One frame per open container: 'o' (object) / 'a' (array), and whether
+  /// a value has been emitted at the current level (comma needed).
+  std::vector<char> stack_;
+  std::vector<bool> has_value_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON document.  Numbers are stored as double (sufficient for the
+/// exporters' 53-bit-safe values); objects keep key order via std::map.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  /// Object member access; returns nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+/// Parse a complete JSON document; std::nullopt on any syntax error or
+/// trailing garbage.
+std::optional<JsonValue> json_parse(std::string_view text);
+
+}  // namespace ocsp::util

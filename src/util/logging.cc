@@ -33,7 +33,10 @@ void set_log_level(LogLevel level) {
 
 void log_line(LogLevel level, const std::string& msg) {
   std::scoped_lock lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  // Warnings and errors go to stderr so they survive stdout redirection of
+  // report output; debug/info chatter stays on stdout.
+  std::FILE* out = level >= LogLevel::kWarn ? stderr : stdout;
+  std::fprintf(out, "[%s] %s\n", level_name(level), msg.c_str());
 }
 
 }  // namespace ocsp::util

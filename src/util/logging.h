@@ -55,3 +55,4 @@ struct NullLog {
 #define OCSP_DLOG OCSP_LOG(kDebug)
 #define OCSP_ILOG OCSP_LOG(kInfo)
 #define OCSP_WLOG OCSP_LOG(kWarn)
+#define OCSP_ELOG OCSP_LOG(kError)

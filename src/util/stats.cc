@@ -1,6 +1,7 @@
 #include "util/stats.h"
 
 #include <cmath>
+#include <cstdio>
 
 #include "util/check.h"
 
@@ -87,6 +88,34 @@ void Histogram::add(double x) {
 double Histogram::bucket_lo(std::size_t i) const {
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                    static_cast<double>(counts_.size());
+}
+
+bool Histogram::same_shape(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+  OCSP_CHECK_MSG(same_shape(other), "Histogram::merge shape mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+std::string Histogram::to_string() const {
+  std::string out;
+  char line[96];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double b_lo = bucket_lo(i);
+    const double b_hi = i + 1 == counts_.size() ? hi_ : bucket_lo(i + 1);
+    std::snprintf(line, sizeof line, "[%g, %g)  %llu\n", b_lo, b_hi,
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  if (out.empty()) out = "(empty)\n";
+  return out;
 }
 
 }  // namespace ocsp::util

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 namespace ocsp::util {
@@ -62,6 +63,18 @@ class Histogram {
   std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
   double bucket_lo(std::size_t i) const;
   std::uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// True when `other` covers the same range with the same bucket count —
+  /// the precondition for merge().
+  bool same_shape(const Histogram& other) const;
+
+  /// Accumulate another histogram's counts.  CHECKs same_shape().
+  void merge(const Histogram& other);
+
+  /// Render one "[lo, hi)  count" line per non-empty bucket.
+  std::string to_string() const;
 
  private:
   double lo_;

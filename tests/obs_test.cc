@@ -1,0 +1,281 @@
+// Observability-layer tests: the structured recorder must reconcile
+// exactly with the legacy SpecStats counters, the Chrome trace exporter
+// must emit a well-formed document with the shapes the ISSUE promises
+// (per-process tracks, commit/abort-tagged slices, PRECEDENCE flows), and
+// the metrics snapshot must carry the canonical counters and histograms.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/workloads.h"
+#include "obs/chrome_trace.h"
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "util/json.h"
+
+namespace ocsp {
+namespace {
+
+using obs::AbortReason;
+using obs::EventKind;
+
+spec::Runtime& run_write_through(std::unique_ptr<spec::Runtime>& holder,
+                                 bool force_fault) {
+  core::WriteThroughParams p;
+  p.force_fault = force_fault;
+  p.net.latency = sim::microseconds(100);
+  p.service_time = sim::microseconds(10);
+  holder = baseline::make_runtime(core::write_through_scenario(p), true);
+  holder->run();
+  return *holder;
+}
+
+spec::Runtime& run_mutual_crossing(std::unique_ptr<spec::Runtime>& holder) {
+  core::MutualParams p;
+  p.crossing = true;
+  p.net.latency = sim::microseconds(200);
+  p.service_time = sim::microseconds(20);
+  holder = baseline::make_runtime(core::mutual_scenario(p), true);
+  holder->run();
+  return *holder;
+}
+
+baseline::RunResult run_relay_stream_pipeline() {
+  core::PipelineParams p;
+  p.calls = 8;
+  p.chain_depth = 3;
+  p.net.latency = sim::microseconds(500);
+  p.service_time = sim::microseconds(20);
+  p.stream = true;
+  p.stream_relays = true;
+  return baseline::run_scenario(core::pipeline_scenario(p), true);
+}
+
+// ---- Recorder vs SpecStats reconciliation ---------------------------------
+
+void expect_reconciled(const spec::Runtime& rt) {
+  const spec::SpecStats stats = rt.total_stats();
+  const obs::RunRecorder& rec = rt.recorder();
+  EXPECT_EQ(rec.count(EventKind::kFork), stats.forks);
+  EXPECT_EQ(rec.count(EventKind::kIntervalBegin), stats.forks);
+  EXPECT_EQ(rec.count(EventKind::kJoin), stats.joins);
+  EXPECT_EQ(rec.count(EventKind::kCommit), stats.commits);
+  EXPECT_EQ(rec.count(EventKind::kRollback), stats.rollbacks);
+  EXPECT_EQ(rec.abort_count(AbortReason::kValueFault),
+            stats.aborts_value_fault);
+  EXPECT_EQ(rec.abort_count(AbortReason::kTimeFault), stats.aborts_time_fault);
+  EXPECT_EQ(rec.abort_count(AbortReason::kTimeout), stats.aborts_timeout);
+  EXPECT_EQ(rec.abort_count(AbortReason::kCascade), stats.aborts_cascade);
+  // total_aborts() counts primary faults only; cascades are tracked apart.
+  EXPECT_EQ(rec.count(EventKind::kAbort),
+            stats.total_aborts() + stats.aborts_cascade);
+}
+
+TEST(ObsReconciliation, CleanWriteThroughRun) {
+  std::unique_ptr<spec::Runtime> rt;
+  expect_reconciled(run_write_through(rt, /*force_fault=*/false));
+  EXPECT_GT(rt->recorder().count(EventKind::kCommit), 0u);
+}
+
+TEST(ObsReconciliation, TimeFaultRunCountsEveryAbort) {
+  std::unique_ptr<spec::Runtime> rt;
+  expect_reconciled(run_write_through(rt, /*force_fault=*/true));
+  EXPECT_GT(rt->recorder().abort_count(AbortReason::kTimeFault), 0u);
+  EXPECT_GT(rt->recorder().count(EventKind::kRollback), 0u);
+}
+
+TEST(ObsReconciliation, MutualCrossingRun) {
+  std::unique_ptr<spec::Runtime> rt;
+  expect_reconciled(run_mutual_crossing(rt));
+  EXPECT_GT(rt->recorder().count(EventKind::kCdgCycleDetected) +
+                rt->recorder().abort_count(AbortReason::kTimeFault),
+            0u);
+}
+
+TEST(ObsReconciliation, GuessLifecycleMatchesVerifierCounts) {
+  std::unique_ptr<spec::Runtime> rt_holder;
+  const spec::Runtime& rt = run_write_through(rt_holder, true);
+  const obs::RunRecorder& rec = rt.recorder();
+  // Every speculative join verdict is either a verification or a failure,
+  // and verdicts never outnumber the guesses that were made.
+  EXPECT_LE(rec.count(EventKind::kGuessVerified) +
+                rec.count(EventKind::kGuessFailed),
+            rec.count(EventKind::kGuessMade));
+  EXPECT_GT(rec.count(EventKind::kGuessMade), 0u);
+}
+
+// ---- Chrome trace export --------------------------------------------------
+
+struct TraceShape {
+  std::size_t process_name_meta = 0;
+  std::size_t commit_slices = 0;
+  std::size_t abort_slices = 0;
+  std::size_t precedence_flows = 0;
+  std::size_t flow_starts = 0;
+  std::size_t flow_ends = 0;
+};
+
+TraceShape shape_of(const util::JsonValue& doc) {
+  TraceShape s;
+  const util::JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return s;
+  for (const auto& e : events->array) {
+    const util::JsonValue* ph = e.find("ph");
+    const util::JsonValue* name = e.find("name");
+    if (ph == nullptr) continue;
+    if (ph->string == "M" && name != nullptr &&
+        name->string == "process_name") {
+      ++s.process_name_meta;
+    }
+    if (ph->string == "X") {
+      const util::JsonValue* args = e.find("args");
+      const util::JsonValue* outcome =
+          args != nullptr ? args->find("outcome") : nullptr;
+      if (outcome != nullptr && outcome->string == "commit") {
+        ++s.commit_slices;
+      }
+      if (outcome != nullptr && outcome->string == "abort") {
+        ++s.abort_slices;
+      }
+    }
+    if (ph->string == "s") {
+      ++s.flow_starts;
+      const util::JsonValue* cat = e.find("cat");
+      if (cat != nullptr && cat->string == "precedence") {
+        ++s.precedence_flows;
+      }
+    }
+    if (ph->string == "f") ++s.flow_ends;
+  }
+  return s;
+}
+
+TEST(ObsChromeTrace, RelayStreamTrackSlicesAndPrecedenceFlows) {
+  baseline::RunResult result = run_relay_stream_pipeline();
+  ASSERT_TRUE(result.all_completed);
+  ASSERT_TRUE(result.recorder != nullptr);
+  ASSERT_FALSE(result.process_names.empty());
+
+  const std::string text =
+      obs::chrome_trace_json(*result.recorder, result.process_names);
+  auto doc = util::json_parse(text);
+  ASSERT_TRUE(doc.has_value()) << "exporter emitted invalid JSON";
+  ASSERT_TRUE(doc->is_object());
+  ASSERT_TRUE(doc->find("traceEvents") != nullptr);
+
+  const TraceShape s = shape_of(*doc);
+  // One named track per process.
+  EXPECT_EQ(s.process_name_meta, result.process_names.size());
+  // Relay streaming commits a chain of guesses without aborting.
+  EXPECT_GT(s.commit_slices, 0u);
+  // Dependent guesses publish PRECEDENCE, exported as flow arrows.
+  EXPECT_GT(s.precedence_flows, 0u);
+  // Flow starts and finishes are emitted in matched pairs.
+  EXPECT_EQ(s.flow_starts, s.flow_ends);
+}
+
+TEST(ObsChromeTrace, FaultRunTagsAbortSlices) {
+  std::unique_ptr<spec::Runtime> rt;
+  run_write_through(rt, /*force_fault=*/true);
+  const std::string text =
+      obs::chrome_trace_json(rt->recorder(), rt->process_names());
+  auto doc = util::json_parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const TraceShape s = shape_of(*doc);
+  // The faulted guess aborts; re-execution is sequential (no new guess),
+  // so the trace carries abort-tagged slices but need not carry commits.
+  EXPECT_GT(s.abort_slices, 0u);
+}
+
+// ---- Metrics snapshot -----------------------------------------------------
+
+TEST(ObsMetrics, RunWideSnapshotCarriesCanonicalSeries) {
+  std::unique_ptr<spec::Runtime> rt_holder;
+  const spec::Runtime& rt = run_write_through(rt_holder, true);
+  const obs::MetricsRegistry m = rt.metrics();
+  const spec::SpecStats stats = rt.total_stats();
+
+  EXPECT_EQ(m.counter_or("commits"), stats.commits);
+  EXPECT_EQ(m.counter_or("aborts_time_fault"), stats.aborts_time_fault);
+  EXPECT_EQ(m.counter_or("aborts_cascade"), stats.aborts_cascade);
+  EXPECT_EQ(m.counter_or("rollbacks"), stats.rollbacks);
+  EXPECT_EQ(m.counter_or("messages_redelivered"),
+            stats.messages_redelivered);
+  EXPECT_GT(m.counter_or("net_messages_delivered"), 0u);
+
+  const util::Histogram* rollback = m.find_histogram("rollback_distance");
+  ASSERT_TRUE(rollback != nullptr);
+  EXPECT_EQ(rollback->total(), stats.rollbacks);
+  ASSERT_TRUE(m.find_histogram("speculation_depth") != nullptr);
+  EXPECT_GT(m.find_histogram("speculation_depth")->total(), 0u);
+
+  EXPECT_TRUE(m.gauges().count("guess_accuracy") > 0);
+}
+
+TEST(ObsMetrics, SnapshotJsonParsesWithTopLevelSections) {
+  std::unique_ptr<spec::Runtime> rt_holder;
+  const spec::Runtime& rt = run_write_through(rt_holder, true);
+  auto doc = util::json_parse(rt.metrics().to_json());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  for (const char* section :
+       {"counters", "gauges", "accumulators", "histograms"}) {
+    const util::JsonValue* v = doc->find(section);
+    ASSERT_TRUE(v != nullptr) << section;
+    EXPECT_TRUE(v->is_object()) << section;
+  }
+  const util::JsonValue* counters = doc->find("counters");
+  EXPECT_TRUE(counters->find("commits") != nullptr);
+}
+
+TEST(ObsMetrics, PerProcessViewsMergeToRunTotals) {
+  std::unique_ptr<spec::Runtime> rt_holder;
+  const spec::Runtime& rt = run_write_through(rt_holder, true);
+  obs::MetricsRegistry merged;
+  for (ProcessId id : rt.all_process_ids()) {
+    merged.merge(rt.process_metrics(id));
+  }
+  const spec::SpecStats stats = rt.total_stats();
+  EXPECT_EQ(merged.counter_or("commits"), stats.commits);
+  EXPECT_EQ(merged.counter_or("forks"), stats.forks);
+  EXPECT_EQ(merged.counter_or("aborts_time_fault"), stats.aborts_time_fault);
+}
+
+TEST(ObsMetrics, PredictorAccuracySeriesPresentOnSpeculativeRun) {
+  baseline::RunResult result = run_relay_stream_pipeline();
+  bool found = false;
+  for (const auto& [name, value] : result.metrics.counters()) {
+    if (name.rfind("predictor/", 0) == 0 &&
+        name.find("/hits") != std::string::npos && value > 0) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << result.metrics.to_json();
+}
+
+// ---- Recorder basics ------------------------------------------------------
+
+TEST(ObsRecorder, DisabledRecorderDropsEverything) {
+  obs::RunRecorder rec;
+  rec.set_enabled(false);
+  obs::Event e;
+  e.kind = EventKind::kAbort;
+  e.reason = AbortReason::kValueFault;
+  rec.record(e);
+  EXPECT_EQ(rec.count(EventKind::kAbort), 0u);
+  EXPECT_EQ(rec.abort_count(AbortReason::kValueFault), 0u);
+  EXPECT_TRUE(rec.events().empty());
+
+  rec.set_enabled(true);
+  rec.record(e);
+  EXPECT_EQ(rec.count(EventKind::kAbort), 1u);
+  EXPECT_EQ(rec.abort_count(AbortReason::kValueFault), 1u);
+  rec.clear();
+  EXPECT_EQ(rec.count(EventKind::kAbort), 0u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "util/flat_set.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/sparse_vector.h"
 #include "util/stats.h"
@@ -280,6 +281,98 @@ TEST(Table, BoolsRenderAsYesNo) {
   const std::string out = t.to_string();
   EXPECT_NE(out.find("yes"), std::string::npos);
   EXPECT_NE(out.find("no"), std::string::npos);
+}
+
+// ---- Histogram merge / to_string ------------------------------------------
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 10);
+  a.add(1.5);
+  a.add(2.5);
+  b.add(2.5);
+  b.add(9.5);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_EQ(a.bucket(1), 1u);  // [1, 2): the 1.5 sample
+  EXPECT_EQ(a.bucket(2), 2u);  // [2, 3): both 2.5 samples
+  EXPECT_EQ(a.bucket(9), 1u);  // [9, 10): the 9.5 sample
+}
+
+TEST(Histogram, SameShapeDetectsMismatch) {
+  Histogram a(0.0, 10.0, 10);
+  EXPECT_TRUE(a.same_shape(Histogram(0.0, 10.0, 10)));
+  EXPECT_FALSE(a.same_shape(Histogram(0.0, 10.0, 5)));
+  EXPECT_FALSE(a.same_shape(Histogram(0.0, 20.0, 10)));
+}
+
+TEST(Histogram, ToStringListsNonEmptyBuckets) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(2.5);
+  h.add(2.6);
+  const std::string s = h.to_string();
+  EXPECT_NE(s.find("[0"), std::string::npos);
+  EXPECT_NE(s.find("2"), std::string::npos);
+  EXPECT_EQ(Histogram(0.0, 4.0, 4).to_string(), "(empty)\n");
+}
+
+// ---- JSON writer ----------------------------------------------------------
+
+TEST(Json, WriterProducesExpectedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n").value(3);
+  w.key("pi").value(0.5);
+  w.key("s").value("a\"b\\c\n");
+  w.key("flag").value(true);
+  w.key("none").null();
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"n\":3,\"pi\":0.5,\"s\":\"a\\\"b\\\\c\\n\",\"flag\":true,"
+            "\"none\":null,\"xs\":[1,2]}");
+}
+
+TEST(Json, EscapeHandlesControlCharacters) {
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, WriterRoundTripsThroughParser) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("ocsp");
+  w.key("values").begin_array().value(1.5).value(-2).end_array();
+  w.key("nested").begin_object().key("ok").value(true).end_object();
+  w.end_object();
+
+  auto parsed = json_parse(w.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->find("name")->string, "ocsp");
+  ASSERT_TRUE(parsed->find("values")->is_array());
+  EXPECT_DOUBLE_EQ(parsed->find("values")->array[0].number, 1.5);
+  EXPECT_DOUBLE_EQ(parsed->find("values")->array[1].number, -2.0);
+  EXPECT_TRUE(parsed->find("nested")->find("ok")->boolean);
+}
+
+TEST(Json, ParserRejectsGarbage) {
+  EXPECT_FALSE(json_parse("{").has_value());
+  EXPECT_FALSE(json_parse("[1,]").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("\"unterminated").has_value());
+}
+
+TEST(Json, ParserHandlesEscapesAndNesting) {
+  auto v = json_parse(R"({"a": [true, null, "xA\n"], "b": -1.25e2})");
+  ASSERT_TRUE(v.has_value());
+  const JsonValue* a = v->find("a");
+  ASSERT_TRUE(a != nullptr && a->is_array());
+  EXPECT_TRUE(a->array[0].boolean);
+  EXPECT_EQ(a->array[1].type, JsonValue::Type::kNull);
+  EXPECT_EQ(a->array[2].string, "xA\n");
+  EXPECT_DOUBLE_EQ(v->find("b")->number, -125.0);
 }
 
 }  // namespace
