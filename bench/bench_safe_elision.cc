@@ -1,0 +1,140 @@
+// Experiment SA — guard elision at statically-safe fork sites.
+//
+// The safe-fanout workload's hints all classify SAFE: empty passed sets,
+// no anti-dependencies, disjoint communication targets.  The runtime then
+// spawns the right thread with no checkpoint, no guess, and no join-time
+// verification traffic.  This benchmark compares three executions of the
+// identical program: sequential, full speculative machinery (the
+// safe-site oracle forces SAFE sites down the guarded path), and the
+// elided fast path — same virtual-time win, measurably cheaper to run.
+#include "analysis/classify.h"
+#include "bench_common.h"
+#include "trace/events.h"
+
+namespace ocsp::bench {
+namespace {
+
+core::SafeFanoutParams make_params(int servers, bool oracle) {
+  core::SafeFanoutParams p;
+  p.servers = servers;
+  p.net.latency = sim::microseconds(300);
+  p.spec.safe_site_oracle = oracle;
+  return p;
+}
+
+void report() {
+  print_header(
+      "SA — guard elision at statically-safe fork sites",
+      "Claim: when the classifier proves a fork non-interfering, the\n"
+      "checkpoint/guess/verification machinery can be elided without\n"
+      "changing the committed trace or the virtual-time speedup.");
+
+  // What the classifier says about the program under test.
+  core::SafeFanoutParams lint_params = make_params(8, false);
+  lint_params.transform = false;
+  auto untransformed = core::safe_fanout_scenario(lint_params);
+  for (const auto& proc : untransformed.processes) {
+    auto rep = analysis::analyze_program(proc.program, proc.name);
+    if (!rep.sites.empty()) std::printf("%s\n", rep.to_text().c_str());
+  }
+
+  auto elided = baseline::run_scenario(core::safe_fanout_scenario(
+                                           make_params(8, false)),
+                                       true);
+  auto guarded = baseline::run_scenario(core::safe_fanout_scenario(
+                                            make_params(8, true)),
+                                        true);
+  auto sequential = baseline::run_scenario(core::safe_fanout_scenario(
+                                               make_params(8, false)),
+                                           false);
+
+  std::string why;
+  const bool match =
+      trace::compare_traces(sequential.trace, elided.trace, &why);
+
+  util::Table table({"metric", "sequential", "guarded", "elided"});
+  table.row("completion ms", sim::to_millis(sequential.last_completion),
+            sim::to_millis(guarded.last_completion),
+            sim::to_millis(elided.last_completion));
+  table.row("safe forks taken", sequential.stats.safe_forks,
+            guarded.stats.safe_forks, elided.stats.safe_forks);
+  table.row("checkpoints", sequential.stats.checkpoints,
+            guarded.stats.checkpoints, elided.stats.checkpoints);
+  table.row("commits (guess verifications)", sequential.stats.commits,
+            guarded.stats.commits, elided.stats.commits);
+  table.row("control messages", sequential.stats.control_sent,
+            guarded.stats.control_sent, elided.stats.control_sent);
+  table.row("oracle violations", sequential.stats.safe_oracle_violations,
+            guarded.stats.safe_oracle_violations,
+            elided.stats.safe_oracle_violations);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("committed trace matches sequential: %s%s%s\n\n",
+              match ? "yes" : "NO", match ? "" : " — ", why.c_str());
+
+  util::Table sweep({"servers", "sequential ms", "elided ms", "speedup",
+                     "guarded checkpoints", "elided checkpoints"});
+  for (int n : {2, 4, 8, 16}) {
+    auto seq_run = baseline::run_scenario(
+        core::safe_fanout_scenario(make_params(n, false)), false);
+    auto guard_run = baseline::run_scenario(
+        core::safe_fanout_scenario(make_params(n, true)), true);
+    auto fast_run = baseline::run_scenario(
+        core::safe_fanout_scenario(make_params(n, false)), true);
+    sweep.row(n, sim::to_millis(seq_run.last_completion),
+              sim::to_millis(fast_run.last_completion),
+              speedup(seq_run, fast_run), guard_run.stats.checkpoints,
+              fast_run.stats.checkpoints);
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+  std::printf("Expected shape: virtual-time speedup grows ~linearly with "
+              "the fan-out\nwidth in both speculative modes; the elided "
+              "column does it with zero\ncheckpoints and no verification "
+              "traffic.\n\n");
+}
+
+void BM_SafeElided(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(
+        core::safe_fanout_scenario(make_params(n, false)), true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result, "BM_SafeElided/" + std::to_string(n));
+  state.counters["checkpoints"] =
+      static_cast<double>(result.stats.checkpoints);
+  state.counters["safe_forks"] =
+      static_cast<double>(result.stats.safe_forks);
+}
+BENCHMARK(BM_SafeElided)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SafeGuarded(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(
+        core::safe_fanout_scenario(make_params(n, true)), true);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result, "BM_SafeGuarded/" + std::to_string(n));
+  state.counters["checkpoints"] =
+      static_cast<double>(result.stats.checkpoints);
+}
+BENCHMARK(BM_SafeGuarded)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_Sequential(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = baseline::run_scenario(
+        core::safe_fanout_scenario(make_params(n, false)), false);
+    benchmark::DoNotOptimize(result.last_completion);
+  }
+  set_counters(state, result, "BM_Sequential/" + std::to_string(n));
+}
+BENCHMARK(BM_Sequential)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace ocsp::bench
+
+OCSP_BENCH_MAIN(ocsp::bench::report)

@@ -1,0 +1,511 @@
+#include "analysis/classify.h"
+
+#include <sstream>
+#include <utility>
+
+#include "csp/visit.h"
+#include "util/check.h"
+
+namespace ocsp::analysis {
+
+const char* to_string(ForkClass c) {
+  switch (c) {
+    case ForkClass::kSafe:
+      return "SAFE";
+    case ForkClass::kSpeculative:
+      return "SPECULATIVE";
+    case ForkClass::kReject:
+      return "REJECT";
+  }
+  return "?";
+}
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+std::set<std::string> set_union(const std::set<std::string>& a,
+                                const std::set<std::string>& b) {
+  std::set<std::string> out = a;
+  out.insert(b.begin(), b.end());
+  return out;
+}
+
+std::set<std::string> set_difference(const std::set<std::string>& a,
+                                     const std::set<std::string>& b) {
+  std::set<std::string> out;
+  for (const auto& x : a) {
+    if (b.count(x) == 0) out.insert(x);
+  }
+  return out;
+}
+
+std::string join(const std::set<std::string>& xs) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& x : xs) {
+    if (!first) out += ", ";
+    out += x;
+    first = false;
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
+                          const CommEffects& continuation,
+                          const std::map<std::string, csp::PredictorSpec>&
+                              declared,
+                          const std::string& site, bool from_hint,
+                          std::vector<Finding>& findings) {
+  SiteReport r;
+  r.site = site;
+  r.from_hint = from_hint;
+
+  const CommEffects e1 = analyze_effects(s1);
+  const CommEffects e2 = analyze_effects(s2);
+  CommEffects cont = continuation;
+  cont.drop_must();  // continuation execution is possible, never certain
+  CommEffects right = e2;
+  right.merge_seq(cont);
+  r.left = e1;
+  r.right = right;
+
+  const bool automatic = declared.empty();
+  const std::set<std::string> static_passed =
+      set_intersection(e1.writes, e2.reads);
+  // Variables the right thread's *continuation* (later loop iterations,
+  // enclosing Seq suffix) reads from S1 — invisible to the static split.
+  const std::set<std::string> carried =
+      set_difference(set_intersection(e1.writes, cont.reads), static_passed);
+  std::set<std::string> declared_keys;
+  for (const auto& [v, spec] : declared) {
+    (void)spec;
+    declared_keys.insert(v);
+  }
+  const std::set<std::string>& passed_src =
+      automatic ? static_passed : declared_keys;
+  r.passed.assign(passed_src.begin(), passed_src.end());
+  r.has_anti_dependency =
+      !set_intersection(e1.reads, e2.writes).empty();
+  const std::set<std::string> shared =
+      set_intersection(e1.may_targets(), right.may_targets());
+  r.shared_targets.assign(shared.begin(), shared.end());
+
+  auto add = [&](Severity sev, std::string code, std::string msg,
+                 std::string fix) {
+    Finding f;
+    f.site = site;
+    f.severity = sev;
+    f.code = std::move(code);
+    f.message = std::move(msg);
+    f.suggestion = std::move(fix);
+    findings.push_back(std::move(f));
+  };
+
+  bool reject = false;
+
+  if (automatic && (e1.opaque || e2.opaque)) {
+    reject = from_hint;
+    add(from_hint ? Severity::kError : Severity::kWarning, "opaque-fragment",
+        "cannot infer the passed set: " +
+            std::string(e1.opaque ? "S1" : "S2") +
+            " contains a native statement whose reads and writes are "
+            "invisible to static analysis",
+        "declare the passed variables and their predictors explicitly on "
+        "the hint");
+  }
+
+  // Guaranteed-interference shape: both halves contact the same process on
+  // every execution path, so the speculative right thread's request races
+  // S1's own traffic at that process.  With declared predictors the user
+  // opted into speculation and the time-fault rollback protocol (bounded by
+  // the retry limit) recovers — this is the streaming pattern — so it is
+  // only a refusal in automatic mode, where the system would be inserting a
+  // known-interfering fork on its own initiative.
+  const std::set<std::string> certain_overlap = set_intersection(
+      e1.must_call_targets,
+      set_union(e2.must_call_targets, e2.must_send_targets));
+  if (!certain_overlap.empty()) {
+    const bool hard = from_hint && automatic;
+    reject |= hard;
+    add(hard ? Severity::kError : Severity::kWarning, "certain-time-fault",
+        "S1 and S2 both communicate with " + join(certain_overlap) +
+            " on every execution path; the speculative half's request races "
+            "S1's own traffic there and will be rolled back whenever it "
+            "arrives early",
+        "narrow the hint span or move the conflicting communication out of "
+        "the speculative half");
+  }
+
+  if (automatic && !carried.empty()) {
+    reject |= from_hint;
+    add(from_hint ? Severity::kError : Severity::kWarning,
+        "loop-carried-dependence",
+        "the right thread's continuation (later loop iterations) reads " +
+            join(carried) +
+            " written by S1, but automatic inference only sees the static "
+            "S2; the stale value would escape the join-time verification",
+        "declare predictors for " + join(carried) + " explicitly");
+  }
+
+  if (!automatic) {
+    const std::set<std::string> missing = set_difference(
+        set_union(static_passed, carried), declared_keys);
+    if (!missing.empty()) {
+      add(Severity::kWarning, "undeclared-passed-variable",
+          "the right thread reads " + join(missing) +
+              " written by S1 but the hint declares no predictor for " +
+              (missing.size() == 1 ? "it" : "them") +
+              "; the fork-point value is used unverified",
+          "add " + join(missing) + " to the declared predictors");
+    }
+  }
+
+  if (reject) {
+    r.cls = ForkClass::kReject;
+    return r;
+  }
+
+  if (e1.unknown_target || right.unknown_target) {
+    add(Severity::kWarning, "unknown-target",
+        "a call/send destination is computed at runtime; communication "
+        "targets cannot be statically bounded",
+        "use a literal destination if the target is actually fixed");
+  }
+
+  const bool safe =
+      automatic && static_passed.empty() && carried.empty() &&
+      !r.has_anti_dependency &&
+      set_intersection(e1.reads, cont.writes).empty() &&
+      !e1.targets_unknowable() && !right.targets_unknowable() &&
+      shared.empty() && !e1.may_receive && !right.may_receive &&
+      !e1.may_reply && !right.may_reply &&
+      !(e1.may_print && right.may_print) && !e1.has_spec_site;
+  if (safe) {
+    r.cls = ForkClass::kSafe;
+    add(Severity::kInfo, "proven-safe",
+        "empty passed set, no anti-dependency, disjoint communication "
+        "targets (S1 " +
+            join(e1.may_targets()) + " vs right thread " +
+            join(right.may_targets()) +
+            "); the state copy and guard machinery can be elided",
+        "");
+  } else {
+    r.cls = ForkClass::kSpeculative;
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-program walk
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Walker {
+ public:
+  explicit Walker(ProgramReport& out) : out_(out) {}
+
+  void walk(const csp::StmtPtr& stmt, const CommEffects& cont) {
+    if (!stmt) return;
+    using csp::StmtKind;
+    switch (stmt->kind) {
+      case StmtKind::kSeq:
+        walk_seq(static_cast<const csp::SeqStmt&>(*stmt), cont);
+        break;
+      case StmtKind::kIf: {
+        const auto& s = static_cast<const csp::IfStmt&>(*stmt);
+        walk(s.then_branch, cont);
+        walk(s.else_branch, cont);
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
+        CommEffects next = analyze_effects(s.body);
+        s.cond->collect_reads(next.reads);
+        next.merge_seq(cont);
+        next.drop_must();
+        walk(s.body, next);
+        break;
+      }
+      case StmtKind::kFork:
+        walk_fork(static_cast<const csp::ForkStmt&>(*stmt), cont);
+        break;
+      case StmtKind::kHint: {
+        // A hint that is not a direct member of a Seq has no S1 to bind to.
+        const auto& h = static_cast<const csp::HintStmt&>(*stmt);
+        reject_site(site_name(h.site), "misplaced-hint",
+                    "parallelization hint is not a direct member of a "
+                    "sequence; there is no preceding statement to fork",
+                    "place the hint between two statements of a seq block");
+        break;
+      }
+      default:
+        break;  // leaf
+    }
+  }
+
+ private:
+  void walk_seq(const csp::SeqStmt& s, const CommEffects& cont) {
+    const auto& body = s.body;
+    // suffix[i] = static effects of body[i..end).
+    std::vector<CommEffects> suffix(body.size() + 1);
+    for (std::size_t i = body.size(); i-- > 0;) {
+      suffix[i] = analyze_effects(body[i]);
+      suffix[i].merge_seq(suffix[i + 1]);
+    }
+
+    std::size_t prev_end = 0;  // first index usable as part of S1
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      const auto& child = body[i];
+      if (child->kind != csp::StmtKind::kHint) {
+        CommEffects child_cont = suffix[i + 1];
+        child_cont.merge_seq(cont);
+        walk(child, child_cont);
+        continue;
+      }
+      const auto& h = static_cast<const csp::HintStmt&>(*child);
+      const std::string site = site_name(h.site);
+      const std::size_t avail = i - prev_end;
+      prev_end = i + 1;
+      if (h.span < 1 || h.span > avail) {
+        reject_site(
+            site, "malformed-span",
+            "hint span " + std::to_string(h.span) + " exceeds the " +
+                std::to_string(avail) +
+                " statement(s) available before the hint at this level",
+            "shrink the span or move the hint after the statements it "
+            "should cover");
+        continue;
+      }
+      std::vector<csp::StmtPtr> s1_body(body.begin() + (i - h.span),
+                                        body.begin() + i);
+      csp::StmtPtr s1 =
+          s1_body.size() == 1 ? s1_body[0] : csp::seq(std::move(s1_body));
+      csp::StmtPtr s2 =
+          csp::seq(std::vector<csp::StmtPtr>(body.begin() + i + 1,
+                                             body.end()));
+      SiteReport rep = classify_split(s1, s2, cont, h.predictors, site,
+                                      /*from_hint=*/true, out_.findings);
+      if (rep.cls != ForkClass::kReject) ++counter_;
+      out_.sites.push_back(std::move(rep));
+    }
+  }
+
+  void walk_fork(const csp::ForkStmt& f, const CommEffects& cont) {
+    const std::string site = site_name(f.site);
+    ++counter_;
+    SiteReport rep = classify_split(f.left, f.right, cont, f.predictors,
+                                    site, /*from_hint=*/false, out_.findings);
+    if (f.mode == csp::ForkMode::kSafe && rep.cls != ForkClass::kSafe) {
+      Finding fd;
+      fd.site = site;
+      fd.cls = rep.cls;
+      fd.severity = Severity::kError;
+      fd.code = "unsound-safe-claim";
+      fd.message =
+          "fork is marked mode=safe but the analysis classifies it " +
+          std::string(to_string(rep.cls)) +
+          "; running it without guards is unsound";
+      fd.suggestion = "re-run fork insertion or clear the safe mode flag";
+      out_.findings.push_back(std::move(fd));
+    } else if (f.mode == csp::ForkMode::kSpeculative &&
+               rep.cls == ForkClass::kSafe) {
+      Finding fd;
+      fd.site = site;
+      fd.cls = ForkClass::kSafe;
+      fd.severity = Severity::kInfo;
+      fd.code = "elidable-site";
+      fd.message =
+          "fork runs speculatively but is provably non-interfering; safe "
+          "mode would elide the guard machinery";
+      fd.suggestion = "re-run fork insertion with classification enabled";
+      out_.findings.push_back(std::move(fd));
+    }
+    out_.sites.push_back(std::move(rep));
+    walk(f.left, CommEffects{});  // the left thread ends at the join
+    walk(f.right, cont);
+  }
+
+  void reject_site(const std::string& site, std::string code,
+                   std::string message, std::string suggestion) {
+    Finding fd;
+    fd.site = site;
+    fd.cls = ForkClass::kReject;
+    fd.severity = Severity::kError;
+    fd.code = std::move(code);
+    fd.message = std::move(message);
+    fd.suggestion = std::move(suggestion);
+    out_.findings.push_back(std::move(fd));
+    SiteReport rep;
+    rep.site = site;
+    rep.cls = ForkClass::kReject;
+    out_.sites.push_back(std::move(rep));
+  }
+
+  std::string site_name(const std::string& declared) {
+    if (!declared.empty()) return declared;
+    return "site#" + std::to_string(counter_);
+  }
+
+  ProgramReport& out_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace
+
+ProgramReport analyze_program(const csp::StmtPtr& program, std::string label) {
+  ProgramReport report;
+  report.program = std::move(label);
+  Walker(report).walk(program, CommEffects{});
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+bool ProgramReport::has_errors() const {
+  for (const auto& f : findings) {
+    if (f.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+std::size_t ProgramReport::count(ForkClass c) const {
+  std::size_t n = 0;
+  for (const auto& s : sites) {
+    if (s.cls == c) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void write_string_array(util::JsonWriter& w, const std::set<std::string>& xs) {
+  w.begin_array();
+  for (const auto& x : xs) w.value(x);
+  w.end_array();
+}
+
+void write_string_array(util::JsonWriter& w,
+                        const std::vector<std::string>& xs) {
+  w.begin_array();
+  for (const auto& x : xs) w.value(x);
+  w.end_array();
+}
+
+void write_side(util::JsonWriter& w, const CommEffects& e) {
+  w.begin_object();
+  w.key("calls");
+  write_string_array(w, e.may_call_targets);
+  w.key("sends");
+  write_string_array(w, e.may_send_targets);
+  w.key("receives").value(e.may_receive);
+  w.key("prints").value(e.may_print);
+  w.key("opaque").value(e.opaque);
+  w.key("unknown_target").value(e.unknown_target);
+  w.end_object();
+}
+
+}  // namespace
+
+void ProgramReport::write_json(util::JsonWriter& w) const {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  for (const auto& f : findings) {
+    errors += f.severity == Severity::kError;
+    warnings += f.severity == Severity::kWarning;
+  }
+  w.begin_object();
+  w.key("program").value(program);
+  w.key("summary").begin_object();
+  w.key("sites").value(static_cast<std::uint64_t>(sites.size()));
+  w.key("safe").value(static_cast<std::uint64_t>(count(ForkClass::kSafe)));
+  w.key("speculative")
+      .value(static_cast<std::uint64_t>(count(ForkClass::kSpeculative)));
+  w.key("reject").value(static_cast<std::uint64_t>(count(ForkClass::kReject)));
+  w.key("errors").value(static_cast<std::uint64_t>(errors));
+  w.key("warnings").value(static_cast<std::uint64_t>(warnings));
+  w.end_object();
+  w.key("sites").begin_array();
+  for (const auto& s : sites) {
+    w.begin_object();
+    w.key("site").value(s.site);
+    w.key("class").value(to_string(s.cls));
+    w.key("from_hint").value(s.from_hint);
+    w.key("passed");
+    write_string_array(w, s.passed);
+    w.key("anti_dependency").value(s.has_anti_dependency);
+    w.key("shared_targets");
+    write_string_array(w, s.shared_targets);
+    w.key("left");
+    write_side(w, s.left);
+    w.key("right");
+    write_side(w, s.right);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("findings").begin_array();
+  for (const auto& f : findings) {
+    w.begin_object();
+    w.key("site").value(f.site);
+    w.key("class").value(to_string(f.cls));
+    w.key("severity").value(to_string(f.severity));
+    w.key("code").value(f.code);
+    w.key("message").value(f.message);
+    w.key("suggestion").value(f.suggestion);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string ProgramReport::to_text() const {
+  std::ostringstream out;
+  out << (program.empty() ? "<program>" : program) << ": " << sites.size()
+      << " site(s) — " << count(ForkClass::kSafe) << " safe, "
+      << count(ForkClass::kSpeculative) << " speculative, "
+      << count(ForkClass::kReject) << " rejected\n";
+  for (const auto& s : sites) {
+    out << "  site '" << s.site << "' [" << to_string(s.cls) << "]";
+    if (!s.passed.empty()) {
+      out << " passed={";
+      for (std::size_t i = 0; i < s.passed.size(); ++i) {
+        if (i) out << ", ";
+        out << s.passed[i];
+      }
+      out << "}";
+    }
+    if (s.has_anti_dependency) out << " anti-dep";
+    if (!s.shared_targets.empty()) {
+      out << " shared={";
+      for (std::size_t i = 0; i < s.shared_targets.size(); ++i) {
+        if (i) out << ", ";
+        out << s.shared_targets[i];
+      }
+      out << "}";
+    }
+    out << "\n";
+  }
+  for (const auto& f : findings) {
+    out << "  [" << to_string(f.severity) << "] site '" << f.site << "' ("
+        << f.code << "): " << f.message << "\n";
+    if (!f.suggestion.empty()) out << "      fix: " << f.suggestion << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ocsp::analysis

@@ -1,0 +1,101 @@
+// Fork-site classification: the static interference analyzer.
+//
+// Every speculation site (ParallelizeHint before transformation, ForkStmt
+// after) is classified against the S1/S2 split it denotes:
+//
+//   SAFE        — non-interference is provable: the passed set is empty, S1
+//                 and S2 (including the right thread's continuation into the
+//                 enclosing program) touch disjoint sets of processes, no
+//                 anti-dependency forces a state copy, and neither side
+//                 receives or replies.  The runtime may elide the state
+//                 copy, the guesses, and the guard/commit machinery.
+//   SPECULATIVE — interference is possible; run the paper's machinery
+//                 (guess + guard + verify-at-join).  Always sound.
+//   REJECT      — the site is statically malformed or a certain-interference
+//                 shape; the transformer refuses it and leaves the program
+//                 sequential, reporting a diagnostic instead of crashing.
+//
+// Soundness caveat, stated once here and relied on everywhere: SAFE proofs
+// are per-process.  They assume the *target* processes named by S1 and S2 do
+// not share state with each other behind the client's back.  The debug-build
+// runtime oracle (SpecConfig::safe_site_oracle) cross-checks every SAFE
+// claim dynamically by running the site with the full machinery and
+// asserting no value or time fault is ever raised.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/effects.h"
+#include "csp/program.h"
+#include "util/json.h"
+
+namespace ocsp::analysis {
+
+enum class ForkClass { kSafe, kSpeculative, kReject };
+enum class Severity { kInfo, kWarning, kError };
+
+const char* to_string(ForkClass c);
+const char* to_string(Severity s);
+
+/// One diagnostic produced by the analyzer.  `code` is a stable
+/// machine-readable identifier (e.g. "opaque-fragment", "certain-time-fault",
+/// "malformed-span"); `message` explains the finding at the site and
+/// `suggestion` proposes a fix when one is known.
+struct Finding {
+  std::string site;
+  ForkClass cls = ForkClass::kSpeculative;
+  Severity severity = Severity::kInfo;
+  std::string code;
+  std::string message;
+  std::string suggestion;
+};
+
+/// Classification result for one site.
+struct SiteReport {
+  std::string site;
+  ForkClass cls = ForkClass::kSpeculative;
+  bool from_hint = true;  ///< hint (pre-transform) vs already-inserted fork
+  /// Inferred (automatic mode) or declared (explicit predictors) passed set.
+  std::vector<std::string> passed;
+  bool has_anti_dependency = false;
+  /// May-targets reachable from both sides; empty is a SAFE precondition.
+  std::vector<std::string> shared_targets;
+  CommEffects left;   ///< S1 summary
+  CommEffects right;  ///< S2 + continuation summary
+};
+
+struct ProgramReport {
+  std::string program;  ///< label for multi-program reports ("" = unnamed)
+  std::vector<SiteReport> sites;
+  std::vector<Finding> findings;
+
+  bool has_errors() const;
+  std::size_t count(ForkClass c) const;
+  /// Append this report as one JSON object to `w` (schema "ocsp-lint-v1").
+  void write_json(util::JsonWriter& w) const;
+  /// Human-readable findings (one block per site, lint-style).
+  std::string to_text() const;
+};
+
+/// Classify one S1/S2 split.  `continuation` summarizes what the right
+/// thread goes on to execute after S2 (enclosing loop iterations and Seq
+/// suffixes); it is weakened to may-only effects internally.  `declared` is
+/// the site's explicit predictor map — empty selects automatic passed-set
+/// inference.  Diagnostics are appended to `findings`.
+SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
+                          const CommEffects& continuation,
+                          const std::map<std::string, csp::PredictorSpec>&
+                              declared,
+                          const std::string& site, bool from_hint,
+                          std::vector<Finding>& findings);
+
+/// Walk a whole program and classify every ParallelizeHint (against the
+/// S1/S2 split fork insertion would choose) and every existing ForkStmt.
+/// Works on both pre- and post-transform trees.
+ProgramReport analyze_program(const csp::StmtPtr& program,
+                              std::string label = {});
+
+}  // namespace ocsp::analysis

@@ -436,4 +436,54 @@ baseline::Scenario shared_server_scenario(const SharedServerParams& params) {
   return scenario;
 }
 
+// ---------------------------------------------------------------------------
+// Statically-safe fan-out
+// ---------------------------------------------------------------------------
+
+std::string safe_fanout_server(int i) { return "F" + std::to_string(i); }
+
+baseline::Scenario safe_fanout_scenario(const SafeFanoutParams& params) {
+  OCSP_CHECK(params.servers >= 1);
+
+  // One call per service; every result variable is write-only, so each
+  // hint's passed set is empty and the halves' targets are disjoint —
+  // exactly the SAFE shape.  Automatic hints (no predictors) let the
+  // classifier prove it rather than trust a declaration.
+  std::vector<csp::StmtPtr> body;
+  for (int i = 0; i < params.servers; ++i) {
+    body.push_back(call(safe_fanout_server(i), "Work", {lit(Value(i))},
+                        "r" + std::to_string(i)));
+    if (i + 1 < params.servers) {
+      body.push_back(hint({}, "fan" + std::to_string(i), /*span=*/1,
+                          params.spec.fork_timeout));
+    }
+  }
+  body.push_back(print(lit(Value("fanout-done"))));
+  csp::StmtPtr client = seq(std::move(body));
+
+  if (params.transform) {
+    client = transform::insert_forks(client).program;
+  }
+
+  std::map<std::string, csp::NativeHandler> handlers;
+  handlers["Work"] = [](const csp::ValueList& args, csp::Env& state,
+                        util::Rng&) {
+    const std::int64_t n = state.get_or("served", Value(0)).as_int();
+    state.set("served", Value(n + 1));
+    return args[0];
+  };
+  csp::ServiceConfig sc;
+  sc.service_time = params.service_time;
+
+  baseline::Scenario scenario;
+  scenario.options.seed = params.seed;
+  scenario.options.spec = params.spec;
+  scenario.options.default_link = make_link(params.net);
+  scenario.add("X", std::move(client));
+  for (int i = 0; i < params.servers; ++i) {
+    scenario.add(safe_fanout_server(i), csp::native_service(handlers, sc));
+  }
+  return scenario;
+}
+
 }  // namespace ocsp::core

@@ -137,4 +137,26 @@ struct SharedServerParams {
 
 baseline::Scenario shared_server_scenario(const SharedServerParams& params);
 
+// ---------------------------------------------------------------------------
+// Statically-safe fan-out: the client fires one request at each of
+// `servers` distinct services, result variables are never read again, and
+// only the final print touches the outside world.  Every hint classifies
+// SAFE, so the optimistic run elides the checkpoint/guess machinery
+// entirely and the calls overlap like plain asynchronous sends — the
+// showcase workload for guard elision.
+// ---------------------------------------------------------------------------
+struct SafeFanoutParams {
+  int servers = 4;  ///< number of distinct target services (one call each)
+  sim::Time service_time = sim::microseconds(20);
+  bool transform = true;  ///< expand the parallelize hints
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario safe_fanout_scenario(const SafeFanoutParams& params);
+
+/// Name of the i-th fan-out service ("F0", "F1", ...).
+std::string safe_fanout_server(int i);
+
 }  // namespace ocsp::core

@@ -70,7 +70,8 @@ Effect Machine::step() {
         const auto& s = static_cast<const CallStmt&>(*stmt);
         Effect e;
         e.kind = Effect::Kind::kCall;
-        e.target = s.target;
+        e.target = s.target_expr ? s.target_expr->eval(env_).as_string()
+                                 : s.target;
         e.op = s.op;
         for (const auto& a : s.args) e.args.push_back(a->eval(env_));
         pending_result_var_ = s.result_var;
@@ -82,7 +83,8 @@ Effect Machine::step() {
         const auto& s = static_cast<const SendStmt&>(*stmt);
         Effect e;
         e.kind = Effect::Kind::kSend;
-        e.target = s.target;
+        e.target = s.target_expr ? s.target_expr->eval(env_).as_string()
+                                 : s.target;
         e.op = s.op;
         for (const auto& a : s.args) e.args.push_back(a->eval(env_));
         stack_.pop_back();

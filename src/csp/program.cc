@@ -70,6 +70,23 @@ StmtPtr send(std::string target, std::string op, std::vector<ExprPtr> args) {
                                     std::move(args));
 }
 
+StmtPtr call_dyn(ExprPtr target, std::string op, std::vector<ExprPtr> args,
+                 std::string result_var) {
+  OCSP_CHECK(target != nullptr);
+  auto s = std::make_shared<CallStmt>(std::string(), std::move(op),
+                                      std::move(args), std::move(result_var));
+  s->target_expr = std::move(target);
+  return s;
+}
+
+StmtPtr send_dyn(ExprPtr target, std::string op, std::vector<ExprPtr> args) {
+  OCSP_CHECK(target != nullptr);
+  auto s = std::make_shared<SendStmt>(std::string(), std::move(op),
+                                      std::move(args));
+  s->target_expr = std::move(target);
+  return s;
+}
+
 StmtPtr receive() { return std::make_shared<ReceiveStmt>(); }
 
 StmtPtr reply(ExprPtr value) {
@@ -108,15 +125,20 @@ std::shared_ptr<const ForkStmt> fork(StmtPtr left, StmtPtr right,
                                      std::vector<std::string> passed,
                                      std::map<std::string, PredictorSpec> preds,
                                      std::string site, sim::Time timeout,
-                                     bool needs_copy) {
+                                     bool needs_copy, ForkMode mode) {
   OCSP_CHECK(left != nullptr);
   OCSP_CHECK(right != nullptr);
   for (const auto& v : passed) {
     OCSP_CHECK_MSG(preds.count(v) > 0, "missing predictor for passed var");
   }
+  if (mode == ForkMode::kSafe) {
+    OCSP_CHECK_MSG(passed.empty() && preds.empty() && !needs_copy,
+                   "safe fork must have no passed set and no state copy");
+  }
   auto f = std::make_shared<ForkStmt>();
   f->left = std::move(left);
   f->right = std::move(right);
+  f->mode = mode;
   f->passed = std::move(passed);
   f->predictors = std::move(preds);
   f->site = std::move(site);
@@ -166,8 +188,10 @@ void render(const StmtPtr& stmt, int depth, std::ostringstream& out) {
     }
     case StmtKind::kCall: {
       const auto& s = static_cast<const CallStmt&>(*stmt);
-      out << pad << s.result_var << " = call " << s.target << "." << s.op
-          << "(";
+      out << pad << s.result_var << " = call "
+          << (s.target_expr ? "[" + s.target_expr->to_string() + "]"
+                            : s.target)
+          << "." << s.op << "(";
       for (std::size_t i = 0; i < s.args.size(); ++i) {
         if (i) out << ", ";
         out << s.args[i]->to_string();
@@ -177,7 +201,10 @@ void render(const StmtPtr& stmt, int depth, std::ostringstream& out) {
     }
     case StmtKind::kSend: {
       const auto& s = static_cast<const SendStmt&>(*stmt);
-      out << pad << "send " << s.target << "." << s.op << "(";
+      out << pad << "send "
+          << (s.target_expr ? "[" + s.target_expr->to_string() + "]"
+                            : s.target)
+          << "." << s.op << "(";
       for (std::size_t i = 0; i < s.args.size(); ++i) {
         if (i) out << ", ";
         out << s.args[i]->to_string();
@@ -215,7 +242,8 @@ void render(const StmtPtr& stmt, int depth, std::ostringstream& out) {
         if (i) out << ", ";
         out << s.passed[i];
       }
-      out << "] copy=" << (s.needs_copy ? "yes" : "no") << " {\n";
+      out << "] copy=" << (s.needs_copy ? "yes" : "no")
+          << (s.mode == ForkMode::kSafe ? " mode=safe" : "") << " {\n";
       out << pad << " left:\n";
       render(s.left, depth + 1, out);
       out << pad << " right:\n";

@@ -105,6 +105,11 @@ struct CallStmt final : Stmt {
         args(std::move(a)),
         result_var(std::move(r)) {}
   std::string target;  ///< destination process name
+  /// Computed destination: when non-null, evaluated at runtime (must yield a
+  /// string) and `target` is ignored.  Static analysis cannot resolve the
+  /// destination of such a call; it must record the expression's reads and
+  /// treat the communication target as unknown.
+  ExprPtr target_expr;
   std::string op;
   std::vector<ExprPtr> args;
   std::string result_var;  ///< variable receiving the reply value
@@ -117,6 +122,7 @@ struct SendStmt final : Stmt {
         op(std::move(o)),
         args(std::move(a)) {}
   std::string target;
+  ExprPtr target_expr;  ///< computed destination; see CallStmt::target_expr
   std::string op;
   std::vector<ExprPtr> args;
 };
@@ -148,6 +154,19 @@ struct NativeStmt final : Stmt {
   Fn fn;  ///< must be deterministic given (Env, Rng) for replay to be exact
 };
 
+/// How the runtime executes a fork site, decided by static analysis at
+/// transform time (src/analysis).
+enum class ForkMode : std::uint8_t {
+  /// Paper machinery: guess the passed values, guard the right thread,
+  /// verify at the join (the default; always sound).
+  kSpeculative,
+  /// Statically proven non-interfering: empty passed set, no
+  /// anti-dependency, disjoint communication targets.  The runtime runs
+  /// both threads without guesses, guards, checkpoints, or the commit
+  /// protocol — only the program-order flush discipline remains.
+  kSafe,
+};
+
 /// The runtime fork primitive.  `left` is S1; `right` is S2 followed by the
 /// continuation of the enclosing program (right-branching structure of
 /// section 3.2).  `passed` lists the variables S2 reads from S1; their
@@ -157,6 +176,7 @@ struct ForkStmt final : Stmt {
   ForkStmt() : Stmt(StmtKind::kFork) {}
   StmtPtr left;
   StmtPtr right;
+  ForkMode mode = ForkMode::kSpeculative;
   std::vector<std::string> passed;
   std::map<std::string, PredictorSpec> predictors;
   /// Stable identifier of the fork site: keys the L-limit retry counter and
@@ -196,6 +216,11 @@ StmtPtr while_(ExprPtr cond, StmtPtr body);
 StmtPtr call(std::string target, std::string op, std::vector<ExprPtr> args,
              std::string result_var);
 StmtPtr send(std::string target, std::string op, std::vector<ExprPtr> args);
+/// Call/send with a destination computed at runtime (`target` must evaluate
+/// to a process-name string).
+StmtPtr call_dyn(ExprPtr target, std::string op, std::vector<ExprPtr> args,
+                 std::string result_var);
+StmtPtr send_dyn(ExprPtr target, std::string op, std::vector<ExprPtr> args);
 StmtPtr receive();
 StmtPtr reply(ExprPtr value);
 StmtPtr print(ExprPtr value);
@@ -209,7 +234,8 @@ std::shared_ptr<const ForkStmt> fork(StmtPtr left, StmtPtr right,
                                      std::map<std::string, PredictorSpec> preds,
                                      std::string site,
                                      sim::Time timeout = 0,
-                                     bool needs_copy = true);
+                                     bool needs_copy = true,
+                                     ForkMode mode = ForkMode::kSpeculative);
 
 /// Render a statement tree as indented pseudo-code (tests, debugging).
 std::string to_string(const StmtPtr& stmt);

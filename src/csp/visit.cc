@@ -1,0 +1,92 @@
+#include "csp/visit.h"
+
+#include <vector>
+
+namespace ocsp::csp {
+
+void for_each_child(const Stmt& stmt,
+                    const std::function<void(const Stmt&)>& fn) {
+  switch (stmt.kind) {
+    case StmtKind::kSeq: {
+      const auto& s = static_cast<const SeqStmt&>(stmt);
+      for (const auto& child : s.body) {
+        if (child) fn(*child);
+      }
+      break;
+    }
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(stmt);
+      if (s.then_branch) fn(*s.then_branch);
+      if (s.else_branch) fn(*s.else_branch);
+      break;
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const WhileStmt&>(stmt);
+      if (s.body) fn(*s.body);
+      break;
+    }
+    case StmtKind::kFork: {
+      const auto& s = static_cast<const ForkStmt&>(stmt);
+      if (s.left) fn(*s.left);
+      if (s.right) fn(*s.right);
+      break;
+    }
+    default:
+      break;  // leaf
+  }
+}
+
+void visit_preorder(const Stmt* stmt,
+                    const std::function<void(const Stmt&)>& fn) {
+  if (stmt == nullptr) return;
+  fn(*stmt);
+  for_each_child(*stmt,
+                 [&fn](const Stmt& child) { visit_preorder(&child, fn); });
+}
+
+StmtPtr rewrite_children(const StmtPtr& stmt,
+                         const std::function<StmtPtr(const StmtPtr&)>& fn) {
+  if (stmt == nullptr) return stmt;
+  switch (stmt->kind) {
+    case StmtKind::kSeq: {
+      const auto& s = static_cast<const SeqStmt&>(*stmt);
+      std::vector<StmtPtr> body;
+      body.reserve(s.body.size());
+      bool changed = false;
+      for (const auto& child : s.body) {
+        StmtPtr next = fn(child);
+        changed |= next != child;
+        body.push_back(std::move(next));
+      }
+      return changed ? seq(std::move(body)) : stmt;
+    }
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const IfStmt&>(*stmt);
+      StmtPtr then_branch = fn(s.then_branch);
+      StmtPtr else_branch = s.else_branch ? fn(s.else_branch) : nullptr;
+      if (then_branch == s.then_branch && else_branch == s.else_branch) {
+        return stmt;
+      }
+      return if_(s.cond, std::move(then_branch), std::move(else_branch));
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const WhileStmt&>(*stmt);
+      StmtPtr body = fn(s.body);
+      return body == s.body ? stmt : while_(s.cond, std::move(body));
+    }
+    case StmtKind::kFork: {
+      const auto& s = static_cast<const ForkStmt&>(*stmt);
+      StmtPtr left = fn(s.left);
+      StmtPtr right = fn(s.right);
+      if (left == s.left && right == s.right) return stmt;
+      auto f = std::make_shared<ForkStmt>(s);
+      f->left = std::move(left);
+      f->right = std::move(right);
+      return f;
+    }
+    default:
+      return stmt;  // leaf
+  }
+}
+
+}  // namespace ocsp::csp

@@ -1,0 +1,36 @@
+// Shared statement traversal helpers.
+//
+// Every pass over the statement IR (def/use analysis, communication-effect
+// analysis, hint expansion, call streaming, lint walks) needs the same
+// child enumeration for the four compound statement kinds (Seq, If, While,
+// Fork).  These helpers centralize that recursion so a pass only writes the
+// per-kind logic it actually cares about.
+#pragma once
+
+#include <functional>
+
+#include "csp/program.h"
+
+namespace ocsp::csp {
+
+/// Invoke `fn` on every direct child statement of `stmt` (Seq body members,
+/// If branches, While body, Fork left/right).  Leaf statements have no
+/// children; null branches (If without else) are skipped.
+void for_each_child(const Stmt& stmt,
+                    const std::function<void(const Stmt&)>& fn);
+
+/// Pre-order traversal of the whole tree rooted at `stmt` (inclusive).
+/// Null is a no-op.
+void visit_preorder(const Stmt* stmt,
+                    const std::function<void(const Stmt&)>& fn);
+
+/// Rebuild `stmt` with every direct child replaced by `fn(child)`.  Leaf
+/// statements are returned unchanged (same pointer); compound statements
+/// are rebuilt only when at least one child changed, preserving structural
+/// sharing.  This is the recursion skeleton of every rewriting pass: the
+/// pass handles the kinds it transforms and delegates the rest here with
+/// its own rewrite function as `fn`.
+StmtPtr rewrite_children(const StmtPtr& stmt,
+                         const std::function<StmtPtr(const StmtPtr&)>& fn);
+
+}  // namespace ocsp::csp

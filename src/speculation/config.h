@@ -35,6 +35,18 @@ struct SpecConfig {
   /// pessimistic baseline with identical program semantics.
   bool speculation_enabled = true;
 
+  /// Soundness oracle for statically-SAFE fork sites (src/analysis): when
+  /// true, ForkMode::kSafe sites run through the full speculative machinery
+  /// (empty passed set, guards, join-time verification) instead of the
+  /// guard-elided fast path, and any value/time fault raised by such a site
+  /// increments stats.safe_oracle_violations — a classifier bug.  Defaults
+  /// on in debug builds so the whole test suite doubles as the oracle.
+#ifndef NDEBUG
+  bool safe_site_oracle = true;
+#else
+  bool safe_site_oracle = false;
+#endif
+
   /// Left-thread timeout guarding against S1 divergence (section 3.3).
   sim::Time fork_timeout = sim::milliseconds(1000);
 

@@ -78,6 +78,17 @@ void SpeculativeProcess::record_abort(const GuessId& g,
   ev.reason = reason;
   ev.detail = detail;
   recorder().record(std::move(ev));
+  // Soundness oracle: a SAFE-classified site must never raise a value or
+  // time fault (timeouts and cascades are liveness/collateral, not
+  // interference at the site itself).
+  if ((reason == obs::AbortReason::kValueFault ||
+       reason == obs::AbortReason::kTimeFault) &&
+      safe_claimed_.count(g) > 0) {
+    ++stats_.safe_oracle_violations;
+#ifndef NDEBUG
+    OCSP_CHECK_MSG(false, "SAFE-classified fork site raised a fault");
+#endif
+  }
 }
 
 obs::MetricsRegistry SpeculativeProcess::metrics_view() const {
@@ -198,7 +209,7 @@ bool SpeculativeProcess::handle_effect(ThreadCtx& t, csp::Effect effect) {
       ev.kind = trace::ObservableEvent::Kind::kExternalOutput;
       ev.process = id_;
       ev.data = effect.value;
-      if (!t.guard.empty()) {
+      if (!flush_ready(t)) {
         ++stats_.externals_buffered;
         const std::size_t pos = t.event_log.size();
         external_buffered_at_[{t.index, pos}] = runtime_.scheduler().now();
@@ -293,9 +304,21 @@ void SpeculativeProcess::send_data(ThreadCtx& t, DataKind kind,
 void SpeculativeProcess::record_event(ThreadCtx& t,
                                       trace::ObservableEvent event) {
   t.event_log.push_back(std::move(event));
-  // Committed immediately when nothing speculative guards this thread.
-  // During replay the flush point is restored from ReplayMeta afterwards.
-  if (t.guard.empty() && !replaying_) flush_events(t);
+  // Committed immediately when program order allows it.  During replay the
+  // flush point is restored from ReplayMeta afterwards.
+  if (!replaying_ && flush_ready(t)) flush_events(t);
+}
+
+bool SpeculativeProcess::flush_ready(const ThreadCtx& t) const {
+  if (!t.guard.empty()) return false;
+  for (const auto& [idx, other] : threads_) {
+    if (idx >= t.index) break;
+    if (other.phase != ThreadCtx::Phase::kTerminated ||
+        other.flushed_count < other.event_log.size()) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void SpeculativeProcess::flush_events(ThreadCtx& t) {
@@ -329,27 +352,31 @@ void SpeculativeProcess::flush_events(ThreadCtx& t) {
 }
 
 void SpeculativeProcess::flush_logs() {
-  // Ascending thread order preserves the program order of the final trace
-  // (thread n's events all precede thread n+1's: x_{n+1} commits only after
-  // thread n terminated with an empty guard).
+  // Ascending thread order preserves the program order of the final trace:
+  // thread n's events all precede thread n+1's.  Stop at the first thread
+  // that is not fully done — later threads' events must stay buffered even
+  // when their own guard is empty (a SAFE fork's right thread runs
+  // unguarded while the left thread is still producing events).
   for (auto& [idx, t] : threads_) {
-    if (!t.guard.empty()) continue;
+    if (!t.guard.empty()) break;
     flush_events(t);
+    if (t.phase != ThreadCtx::Phase::kTerminated) break;
   }
 }
 
 void SpeculativeProcess::check_completion() {
   if (completed_) return;
-  bool program_done = false;
   for (auto& [idx, t] : threads_) {
     if (t.phase == ThreadCtx::Phase::kDoneWaitGuard && t.guard.empty()) {
       t.phase = ThreadCtx::Phase::kTerminated;
-      program_done = true;
+      program_finished_ = true;
     }
   }
-  if (!program_done) return;
-  // The program finished; every other thread must already be terminated
-  // (their join guesses committed, which is what emptied our guard).
+  if (!program_finished_) return;
+  // The program body finished; completion needs every thread terminated.
+  // Under speculation that is already true (join guesses committed, which
+  // is what emptied the final thread's guard), but a SAFE fork's left
+  // thread may still be running S1 and joins later.
   for (const auto& [idx, t] : threads_) {
     if (t.phase != ThreadCtx::Phase::kTerminated) return;
   }

@@ -91,6 +91,10 @@ struct ThreadCtx {
   csp::Machine join_right_initial;  ///< right thread's start machine, for
                                     ///< re-execution after an abort
   bool join_guess_aborted = false;
+  /// The pending join belongs to a ForkMode::kSafe fork running the
+  /// guard-elided fast path: no guess, nothing to verify, the right thread
+  /// is already running unguarded.
+  bool join_safe = false;
 
   /// Outstanding two-way call (phase == kAwaitReply).
   std::int64_t outstanding_reqid = -1;
@@ -229,6 +233,12 @@ class SpeculativeProcess {
   void record_event(ThreadCtx& t, trace::ObservableEvent event);
   void flush_events(ThreadCtx& t);
   void flush_logs();
+  /// A thread's events may enter the committed log only when nothing
+  /// speculative guards it AND every lower-index thread has terminated and
+  /// fully flushed — committed traces must follow sequential program order.
+  /// (Speculative-mode guards imply the second condition; the SAFE fast
+  /// path, whose right thread runs unguarded beside the left, does not.)
+  bool flush_ready(const ThreadCtx& t) const;
   void check_completion();
   ProcessId resolve(const std::string& name) const;
   trace::Timeline& timeline();
@@ -268,6 +278,10 @@ class SpeculativeProcess {
   /// Consecutive own-guess aborts per fork site (liveness limit L).
   std::map<std::string, int> site_aborts_;
 
+  /// Guesses created for SAFE-classified sites under the soundness oracle;
+  /// a value/time fault on one of these is a classifier bug.
+  std::set<GuessId> safe_claimed_;
+
   /// reqid -> thread index of the caller awaiting the return.
   std::map<std::int64_t, std::uint32_t> outstanding_calls_;
   std::int64_t next_reqid_ = 1;
@@ -305,6 +319,10 @@ class SpeculativeProcess {
   std::vector<trace::ObservableEvent> committed_log_;
 
   bool completed_ = false;
+  /// The program body finished (some thread left kDoneWaitGuard); completion
+  /// is declared once every thread has terminated, which may happen later
+  /// (a SAFE fork's left thread can still be running S1 at that point).
+  bool program_finished_ = false;
   sim::Time completion_time_ = 0;
   bool stepping_ = false;             ///< re-entrancy guard for run_thread
   bool in_process_arrivals_ = false;  ///< re-entrancy guard for delivery

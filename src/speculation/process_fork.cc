@@ -38,6 +38,12 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   const bool speculate =
       config_.speculation_enabled &&
       site_aborts_[f.site] < config_.retry_limit;
+  // Statically-SAFE site (src/analysis): run both threads with the guess /
+  // guard / commit machinery elided.  Under the soundness oracle the site
+  // takes the full speculative path instead, so the classifier's claim is
+  // checked at every join (record_abort flags any value/time fault).
+  const bool safe_fast_path =
+      f.mode == csp::ForkMode::kSafe && speculate && !config_.safe_site_oracle;
 
   // Prepare the right thread's start machine: a copy of the fork-point
   // state positioned at S2 with a split RNG stream.  (When f.needs_copy is
@@ -57,6 +63,56 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   t.join_passed = f.passed;
   t.join_guessed.clear();
   t.join_guess_aborted = false;
+  t.join_safe = false;
+
+  if (safe_fast_path) {
+    ++stats_.safe_forks;
+    const std::uint32_t new_index = ++max_thread_;
+    t.join_safe = true;
+    t.join_guess = GuessId{};  // no guess: nothing to verify at the join
+
+    ThreadCtx r;
+    r.index = new_index;
+    r.interval = 0;
+    r.machine = std::move(right_machine);
+    // A SAFE fork adds no guess of its own, but any enclosing speculation
+    // still guards both threads: inherit the parent's dependencies.
+    r.guard = t.guard;
+    r.cdg = t.cdg;
+    r.rollbacks = t.rollbacks;
+    r.has_own_guess = false;
+    r.created_at = current_index(t);
+
+    timeline().record({trace::TimelineEntry::Kind::kFork,
+                       runtime_.scheduler().now(), id_, kNoProcess,
+                       "safe site=" + f.site});
+    {
+      obs::Event fe = make_event(obs::EventKind::kFork);
+      fe.thread = t.index;
+      fe.interval = t.interval;
+      fe.detail = f.site;
+      recorder().record(std::move(fe));
+      obs::Event ie = make_event(obs::EventKind::kIntervalBegin);
+      ie.thread = new_index;
+      ie.detail = f.site;
+      recorder().record(std::move(ie));
+    }
+
+    auto [it, inserted] = threads_.emplace(new_index, std::move(r));
+    OCSP_CHECK_MSG(inserted, "thread index reuse without kill");
+    schedule_step(new_index);
+
+    // No fork timer (S1 cannot fault), no predictor work, no creation
+    // checkpoint for the right thread (no rollback ever targets it: it has
+    // no guess, and an enclosing abort kills it outright and re-runs the
+    // fork).  The left thread keeps the usual interval/replay discipline.
+    ++t.interval;
+    if (config_.rollback == RollbackStrategy::kReplayFromLog) {
+      take_checkpoint(t);
+      ++t.interval;
+    }
+    return;
+  }
 
   if (!speculate) {
     ++stats_.sequential_forks;
@@ -90,6 +146,10 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   const std::uint32_t new_index = ++max_thread_;
   const GuessId guess{id_, incarnation_, new_index};
   t.join_guess = guess;
+  if (f.mode == csp::ForkMode::kSafe) {
+    // Oracle mode: remember that this guess belongs to a SAFE claim.
+    safe_claimed_.insert(guess);
+  }
 
   // Apply the compiler-chosen predictor to each passed variable (3.2).
   for (const auto& v : f.passed) {
@@ -176,17 +236,32 @@ void SpeculativeProcess::do_join(ThreadCtx& left) {
 
 void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
   ++stats_.joins;
-  const bool sequential = !left.join_guess.valid();
+  const bool safe_join = left.join_safe;
+  const bool sequential = !safe_join && !left.join_guess.valid();
   timeline().record({trace::TimelineEntry::Kind::kJoin,
                      runtime_.scheduler().now(), id_, kNoProcess,
-                     sequential ? "sequential" : left.join_guess.to_string()});
+                     safe_join    ? "safe site=" + left.join_site
+                     : sequential ? "sequential"
+                                  : left.join_guess.to_string()});
   {
     obs::Event je = make_event(obs::EventKind::kJoin);
     je.thread = left.index;
     je.interval = left.interval;
-    if (!sequential) je.guess = guess_ref(left.join_guess);
+    if (!sequential && !safe_join) je.guess = guess_ref(left.join_guess);
     je.detail = sequential ? "sequential" : left.join_site;
     recorder().record(std::move(je));
+  }
+
+  if (safe_join) {
+    // Nothing was guessed and nothing needs verifying or re-executing: the
+    // right thread has been running the true continuation all along.  The
+    // caller's after_guard_change() drains the right thread's buffered
+    // events (flush order requires this thread terminated first) and
+    // re-checks completion.
+    left.phase = ThreadCtx::Phase::kTerminated;
+    left.has_pending_join = false;
+    left.join_safe = false;
+    return;
   }
 
   if (!sequential) cancel_fork_timer(left.join_guess);

@@ -8,7 +8,8 @@ namespace ocsp::spec {
 
 std::string SpecStats::to_string() const {
   std::ostringstream os;
-  os << "forks=" << forks << " (seq=" << sequential_forks << ")"
+  os << "forks=" << forks << " (seq=" << sequential_forks
+     << " safe=" << safe_forks << ")"
      << " joins=" << joins << " commits=" << commits
      << " aborts[value=" << aborts_value_fault
      << " time=" << aborts_time_fault << " timeout=" << aborts_timeout
@@ -26,6 +27,8 @@ std::string SpecStats::to_string() const {
 void SpecStats::export_to(obs::MetricsRegistry& m) const {
   m.counter("forks") += forks;
   m.counter("sequential_forks") += sequential_forks;
+  m.counter("safe_forks") += safe_forks;
+  m.counter("safe_oracle_violations") += safe_oracle_violations;
   m.counter("joins") += joins;
   m.counter("commits") += commits;
   m.counter("aborts_value_fault") += aborts_value_fault;

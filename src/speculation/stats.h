@@ -14,6 +14,11 @@ struct SpecStats {
   std::uint64_t forks = 0;
   std::uint64_t sequential_forks = 0;  ///< forks run pessimistically (L hit
                                        ///< or speculation disabled)
+  std::uint64_t safe_forks = 0;  ///< statically-SAFE forks run with the
+                                 ///< guard machinery elided
+  std::uint64_t safe_oracle_violations = 0;  ///< value/time faults raised by
+                                             ///< SAFE-classified sites under
+                                             ///< the debug oracle
   std::uint64_t joins = 0;
   std::uint64_t commits = 0;
   std::uint64_t aborts_value_fault = 0;
@@ -40,6 +45,8 @@ struct SpecStats {
   void merge(const SpecStats& o) {
     forks += o.forks;
     sequential_forks += o.sequential_forks;
+    safe_forks += o.safe_forks;
+    safe_oracle_violations += o.safe_oracle_violations;
     joins += o.joins;
     commits += o.commits;
     aborts_value_fault += o.aborts_value_fault;

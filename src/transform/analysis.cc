@@ -1,8 +1,6 @@
 #include "transform/analysis.h"
 
-#include <algorithm>
-
-#include "util/check.h"
+#include "analysis/effects.h"
 
 namespace ocsp::transform {
 
@@ -12,108 +10,26 @@ void Analysis::merge(const Analysis& other) {
   opaque |= other.opaque;
 }
 
-namespace {
-
-void analyze_into(const csp::Stmt* stmt, Analysis& out) {
-  using csp::StmtKind;
-  if (stmt == nullptr) return;
-  switch (stmt->kind) {
-    case StmtKind::kSeq: {
-      const auto& s = static_cast<const csp::SeqStmt&>(*stmt);
-      for (const auto& child : s.body) analyze_into(child.get(), out);
-      break;
-    }
-    case StmtKind::kAssign: {
-      const auto& s = static_cast<const csp::AssignStmt&>(*stmt);
-      s.value->collect_reads(out.reads);
-      out.writes.insert(s.variable);
-      break;
-    }
-    case StmtKind::kIf: {
-      const auto& s = static_cast<const csp::IfStmt&>(*stmt);
-      s.cond->collect_reads(out.reads);
-      analyze_into(s.then_branch.get(), out);
-      analyze_into(s.else_branch.get(), out);
-      break;
-    }
-    case StmtKind::kWhile: {
-      const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
-      s.cond->collect_reads(out.reads);
-      analyze_into(s.body.get(), out);
-      break;
-    }
-    case StmtKind::kCall: {
-      const auto& s = static_cast<const csp::CallStmt&>(*stmt);
-      for (const auto& a : s.args) a->collect_reads(out.reads);
-      if (!s.result_var.empty()) out.writes.insert(s.result_var);
-      break;
-    }
-    case StmtKind::kSend: {
-      const auto& s = static_cast<const csp::SendStmt&>(*stmt);
-      for (const auto& a : s.args) a->collect_reads(out.reads);
-      break;
-    }
-    case StmtKind::kReceive:
-      out.writes.insert("__op");
-      out.writes.insert("__args");
-      out.writes.insert("__caller");
-      out.writes.insert("__reqid");
-      out.writes.insert("__is_call");
-      break;
-    case StmtKind::kReply: {
-      const auto& s = static_cast<const csp::ReplyStmt&>(*stmt);
-      s.value->collect_reads(out.reads);
-      out.reads.insert("__caller");
-      out.reads.insert("__reqid");
-      break;
-    }
-    case StmtKind::kPrint: {
-      const auto& s = static_cast<const csp::PrintStmt&>(*stmt);
-      s.value->collect_reads(out.reads);
-      break;
-    }
-    case StmtKind::kNative:
-      out.opaque = true;
-      break;
-    case StmtKind::kFork: {
-      const auto& s = static_cast<const csp::ForkStmt&>(*stmt);
-      analyze_into(s.left.get(), out);
-      analyze_into(s.right.get(), out);
-      break;
-    }
-    case StmtKind::kCompute:
-    case StmtKind::kHint:
-    case StmtKind::kNop:
-      break;
-  }
-}
-
-}  // namespace
-
 Analysis analyze(const csp::StmtPtr& stmt) {
+  // The def/use view of the communication-effect analysis (src/analysis);
+  // that pass owns the one traversal of the IR and already accounts for
+  // computed destinations (target_expr reads).
+  const analysis::CommEffects e = analysis::analyze_effects(stmt);
   Analysis out;
-  analyze_into(stmt.get(), out);
+  out.reads = e.reads;
+  out.writes = e.writes;
+  out.opaque = e.opaque;
   return out;
 }
 
 std::set<std::string> passed_set(const csp::StmtPtr& s1,
                                  const csp::StmtPtr& s2) {
-  const Analysis a1 = analyze(s1);
-  const Analysis a2 = analyze(s2);
-  std::set<std::string> out;
-  std::set_intersection(a1.writes.begin(), a1.writes.end(), a2.reads.begin(),
-                        a2.reads.end(), std::inserter(out, out.begin()));
-  return out;
+  return analysis::set_intersection(analyze(s1).writes, analyze(s2).reads);
 }
 
 bool has_anti_dependency(const csp::StmtPtr& s1, const csp::StmtPtr& s2) {
-  const Analysis a1 = analyze(s1);
-  const Analysis a2 = analyze(s2);
-  std::set<std::string> clobbered;
-  std::set_intersection(a1.reads.begin(), a1.reads.end(), a2.writes.begin(),
-                        a2.writes.end(),
-                        std::inserter(clobbered, clobbered.begin()));
-  return !clobbered.empty();
+  return !analysis::set_intersection(analyze(s1).reads, analyze(s2).writes)
+              .empty();
 }
 
 }  // namespace ocsp::transform

@@ -1,110 +1,193 @@
 #include "transform/fork_insertion.h"
 
-#include <vector>
+#include <utility>
 
-#include "transform/analysis.h"
-#include "util/check.h"
+#include "analysis/effects.h"
+#include "csp/visit.h"
 
 namespace ocsp::transform {
 
 namespace {
 
-csp::StmtPtr rewrite(const csp::StmtPtr& stmt, std::size_t& count);
+using analysis::CommEffects;
+using analysis::ForkClass;
 
-csp::StmtPtr rewrite_seq(const csp::SeqStmt& seq, std::size_t& count) {
-  // First rewrite children, then expand the first hint at this level; the
-  // recursion through the fork's right branch handles any further hints.
-  std::vector<csp::StmtPtr> body;
-  body.reserve(seq.body.size());
-  for (const auto& child : seq.body) {
-    // Hints are consumed at this level, not recursed into.
-    body.push_back(child->kind == csp::StmtKind::kHint ? child
-                                                       : rewrite(child, count));
-  }
+// Carries the continuation summary down the tree: `cont` describes what the
+// right thread of a fork at the current position would go on to execute
+// after the enclosing Seq (suffixes of outer Seqs, later iterations of
+// enclosing Whiles).  The classifier needs it to see loop-carried
+// dependences and communication the static S2 does not show.
+class Rewriter {
+ public:
+  explicit Rewriter(ForkInsertionResult& result) : result_(result) {}
 
-  for (std::size_t i = 0; i < body.size(); ++i) {
-    if (body[i]->kind != csp::StmtKind::kHint) continue;
-    const auto& h = static_cast<const csp::HintStmt&>(*body[i]);
-    OCSP_CHECK_MSG(h.span >= 1 && h.span <= i,
-                   "hint span exceeds preceding statements");
-
-    // S1 = the `span` statements before the hint.
-    std::vector<csp::StmtPtr> s1_body(body.begin() + (i - h.span),
-                                      body.begin() + i);
-    csp::StmtPtr s1 =
-        s1_body.size() == 1 ? s1_body[0] : csp::seq(std::move(s1_body));
-
-    // S2 (plus the rest of this Seq) = everything after the hint.
-    std::vector<csp::StmtPtr> s2_body(body.begin() + i + 1, body.end());
-    csp::StmtPtr s2 = csp::seq(std::move(s2_body));
-    s2 = rewrite(s2, count);  // idempotent; children already rewritten
-
-    std::map<std::string, csp::PredictorSpec> predictors = h.predictors;
-    std::vector<std::string> passed;
-    if (predictors.empty()) {
-      // Automatic mode: infer the passed set and default every variable to
-      // a last-committed predictor.
-      const Analysis a1 = analyze(s1);
-      const Analysis a2 = analyze(s2);
-      OCSP_CHECK_MSG(!a1.opaque && !a2.opaque,
-                     "cannot infer passed set across native statements");
-      for (const auto& v : passed_set(s1, s2)) {
-        predictors.emplace(v, csp::PredictorSpec::last_committed(csp::Value()));
-        passed.push_back(v);
+  csp::StmtPtr rewrite(const csp::StmtPtr& stmt, const CommEffects& cont) {
+    if (!stmt) return stmt;
+    using csp::StmtKind;
+    switch (stmt->kind) {
+      case StmtKind::kSeq:
+        return rewrite_seq(static_cast<const csp::SeqStmt&>(*stmt), cont);
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
+        CommEffects next = analysis::analyze_effects(s.body);
+        s.cond->collect_reads(next.reads);
+        next.merge_seq(cont);
+        next.drop_must();
+        return csp::rewrite_children(
+            stmt,
+            [&](const csp::StmtPtr& child) { return rewrite(child, next); });
       }
-    } else {
-      for (const auto& [v, spec] : predictors) passed.push_back(v);
+      case StmtKind::kFork: {
+        const auto& s = static_cast<const csp::ForkStmt&>(*stmt);
+        return csp::rewrite_children(
+            stmt, [&](const csp::StmtPtr& child) {
+              // The left thread ends at the join; only the right thread
+              // continues into the enclosing program.
+              return child == s.left ? rewrite(child, CommEffects{})
+                                     : rewrite(child, cont);
+            });
+      }
+      case StmtKind::kHint: {
+        // A hint that is not a direct member of a Seq has no S1 to bind to.
+        const auto& h = static_cast<const csp::HintStmt&>(*stmt);
+        reject(site_name(h.site), "misplaced-hint",
+               "parallelization hint is not a direct member of a sequence; "
+               "there is no preceding statement to fork",
+               "place the hint between two statements of a seq block");
+        return csp::nop();
+      }
+      default:
+        return csp::rewrite_children(
+            stmt,
+            [&](const csp::StmtPtr& child) { return rewrite(child, cont); });
     }
-
-    const bool needs_copy = has_anti_dependency(s1, s2);
-    std::string site = h.site.empty()
-                           ? "hint#" + std::to_string(count)
-                           : h.site;
-    ++count;
-
-    std::vector<csp::StmtPtr> out(body.begin(), body.begin() + (i - h.span));
-    out.push_back(csp::fork(std::move(s1), std::move(s2), std::move(passed),
-                            std::move(predictors), std::move(site), h.timeout,
-                            needs_copy));
-    return csp::seq(std::move(out));
   }
-  return csp::seq(std::move(body));
-}
 
-csp::StmtPtr rewrite(const csp::StmtPtr& stmt, std::size_t& count) {
-  using csp::StmtKind;
-  switch (stmt->kind) {
-    case StmtKind::kSeq:
-      return rewrite_seq(static_cast<const csp::SeqStmt&>(*stmt), count);
-    case StmtKind::kIf: {
-      const auto& s = static_cast<const csp::IfStmt&>(*stmt);
-      return csp::if_(s.cond, rewrite(s.then_branch, count),
-                      s.else_branch ? rewrite(s.else_branch, count) : nullptr);
+ private:
+  csp::StmtPtr rewrite_seq(const csp::SeqStmt& seq, const CommEffects& cont) {
+    const auto& in = seq.body;
+    // suffix[i] = static effects of in[i..end); rewriting preserves effects,
+    // so computing them over the input children is exact.
+    std::vector<CommEffects> suffix(in.size() + 1);
+    for (std::size_t i = in.size(); i-- > 0;) {
+      suffix[i] = analysis::analyze_effects(in[i]);
+      suffix[i].merge_seq(suffix[i + 1]);
     }
-    case StmtKind::kWhile: {
-      const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
-      return csp::while_(s.cond, rewrite(s.body, count));
+
+    std::vector<csp::StmtPtr> body;
+    body.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      if (in[i]->kind == csp::StmtKind::kHint) {
+        // Hints are consumed at this level, not recursed into.
+        body.push_back(in[i]);
+        continue;
+      }
+      CommEffects child_cont = suffix[i + 1];
+      child_cont.merge_seq(cont);
+      body.push_back(rewrite(in[i], child_cont));
     }
-    case StmtKind::kFork: {
-      const auto& s = static_cast<const csp::ForkStmt&>(*stmt);
-      auto f = std::make_shared<csp::ForkStmt>(s);
-      f->left = rewrite(s.left, count);
-      f->right = rewrite(s.right, count);
-      return f;
+
+    // Expand the first acceptable hint at this level; the recursion through
+    // the fork's right branch handles any further hints.  Rejected hints
+    // become Nops and scanning continues past them.
+    std::size_t prev_end = 0;  // first index usable as part of an S1
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (body[i]->kind != csp::StmtKind::kHint) continue;
+      const auto& h = static_cast<const csp::HintStmt&>(*body[i]);
+      const std::string site = site_name(h.site);
+      const std::size_t avail = i - prev_end;
+      prev_end = i + 1;
+      if (h.span < 1 || h.span > avail) {
+        reject(site, "malformed-span",
+               "hint span " + std::to_string(h.span) + " exceeds the " +
+                   std::to_string(avail) +
+                   " statement(s) available before the hint at this level",
+               "shrink the span or move the hint after the statements it "
+               "should cover");
+        body[i] = csp::nop();
+        continue;
+      }
+
+      // S1 = the `span` statements before the hint.
+      std::vector<csp::StmtPtr> s1_body(body.begin() + (i - h.span),
+                                        body.begin() + i);
+      csp::StmtPtr s1 =
+          s1_body.size() == 1 ? s1_body[0] : csp::seq(std::move(s1_body));
+
+      // S2 (plus the rest of this Seq) = everything after the hint.  The
+      // split is classified *before* its inner hints are expanded — a fork
+      // node has the same communication effects as the hint it came from,
+      // and on rejection the untouched tail lets the scan carry on and
+      // expand later hints at this level exactly once.
+      std::vector<csp::StmtPtr> s2_body(body.begin() + i + 1, body.end());
+      csp::StmtPtr s2 = csp::seq(std::move(s2_body));
+
+      const analysis::SiteReport rep = analysis::classify_split(
+          s1, s2, cont, h.predictors, site, /*from_hint=*/true,
+          result_.findings);
+      if (rep.cls == ForkClass::kReject) {
+        ++result_.rejected_sites;
+        body[i] = csp::nop();
+        continue;
+      }
+      s2 = rewrite(s2, cont);  // expand any later hints into nested forks
+
+      std::map<std::string, csp::PredictorSpec> predictors = h.predictors;
+      if (predictors.empty() && rep.cls != ForkClass::kSafe) {
+        // Automatic mode: default every inferred passed variable to a
+        // last-committed predictor.
+        for (const auto& v : rep.passed) {
+          predictors.emplace(v,
+                             csp::PredictorSpec::last_committed(csp::Value()));
+        }
+      }
+      std::vector<std::string> passed =
+          rep.cls == ForkClass::kSafe ? std::vector<std::string>{}
+                                      : rep.passed;
+      const bool needs_copy =
+          rep.cls == ForkClass::kSafe ? false : rep.has_anti_dependency;
+      const csp::ForkMode mode = rep.cls == ForkClass::kSafe
+                                     ? csp::ForkMode::kSafe
+                                     : csp::ForkMode::kSpeculative;
+
+      ++result_.forks_inserted;
+      if (mode == csp::ForkMode::kSafe) ++result_.safe_sites;
+
+      std::vector<csp::StmtPtr> out(body.begin(), body.begin() + (i - h.span));
+      out.push_back(csp::fork(std::move(s1), std::move(s2), std::move(passed),
+                              std::move(predictors), site, h.timeout,
+                              needs_copy, mode));
+      return csp::seq(std::move(out));
     }
-    case StmtKind::kHint:
-      OCSP_CHECK_MSG(false, "hint not directly inside a seq");
-      return stmt;
-    default:
-      return stmt;
+    return csp::seq(std::move(body));
   }
-}
+
+  void reject(const std::string& site, std::string code, std::string message,
+              std::string suggestion) {
+    analysis::Finding f;
+    f.site = site;
+    f.cls = ForkClass::kReject;
+    f.severity = analysis::Severity::kError;
+    f.code = std::move(code);
+    f.message = std::move(message);
+    f.suggestion = std::move(suggestion);
+    result_.findings.push_back(std::move(f));
+    ++result_.rejected_sites;
+  }
+
+  std::string site_name(const std::string& declared) const {
+    if (!declared.empty()) return declared;
+    return "hint#" + std::to_string(result_.forks_inserted);
+  }
+
+  ForkInsertionResult& result_;
+};
 
 }  // namespace
 
 ForkInsertionResult insert_forks(const csp::StmtPtr& program) {
   ForkInsertionResult result;
-  result.program = rewrite(program, result.forks_inserted);
+  result.program = Rewriter(result).rewrite(program, CommEffects{});
   return result;
 }
 

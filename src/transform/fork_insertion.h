@@ -11,8 +11,17 @@
 // the final statement of the rewritten Seq, so the right thread naturally
 // continues into the enclosing program (the right-branching structure of
 // the paper), while the left thread runs S1 only.
+//
+// Every site goes through the static interference analyzer (src/analysis)
+// first.  SAFE sites become ForkMode::kSafe forks (guard machinery elided at
+// runtime); REJECT sites are refused — the hint is dropped, the program
+// stays sequential at that point, and a structured diagnostic is reported
+// instead of the old OCSP_CHECK crash.
 #pragma once
 
+#include <vector>
+
+#include "analysis/classify.h"
 #include "csp/program.h"
 
 namespace ocsp::transform {
@@ -20,12 +29,20 @@ namespace ocsp::transform {
 struct ForkInsertionResult {
   csp::StmtPtr program;
   std::size_t forks_inserted = 0;
+  /// Forks inserted with ForkMode::kSafe (subset of forks_inserted).
+  std::size_t safe_sites = 0;
+  /// Hints refused with a diagnostic; the program is sequential there.
+  std::size_t rejected_sites = 0;
+  /// Diagnostics from the interference analyzer (REJECT errors, warnings,
+  /// proven-safe notes).
+  std::vector<analysis::Finding> findings;
 };
 
 /// Expand every HintStmt in the tree.  Hints whose predictor map is empty
 /// get an automatically inferred passed set (writes(S1) ∩ reads(S2)) with
-/// last-committed predictors; this is refused (OCSP_CHECK) if S1 or S2
-/// contains an unanalyzable NativeStmt.
+/// last-committed predictors.  Malformed or statically-unsound hints are
+/// rejected with a Finding rather than crashing; an untransformed hint is a
+/// runtime no-op, so rejection degrades to sequential execution.
 ForkInsertionResult insert_forks(const csp::StmtPtr& program);
 
 }  // namespace ocsp::transform

@@ -1,0 +1,103 @@
+// Integration tests for guard elision at statically-SAFE fork sites: the
+// classifier's claim (no state copy, no guess, no verification needed) has
+// to hold at runtime, and the debug soundness oracle has to agree.
+#include <gtest/gtest.h>
+
+#include "core/workloads.h"
+
+namespace ocsp {
+namespace {
+
+core::SafeFanoutParams base_params(int servers = 4) {
+  core::SafeFanoutParams p;
+  p.servers = servers;
+  p.net.latency = sim::microseconds(300);
+  p.service_time = sim::microseconds(20);
+  p.spec.safe_site_oracle = false;  // exercise the elided fast path
+  return p;
+}
+
+TEST(SafeElision, FastPathElidesGuessMachinery) {
+  auto result =
+      baseline::run_scenario(core::safe_fanout_scenario(base_params(8)), true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_EQ(result.stats.safe_forks, 7u);
+  EXPECT_EQ(result.stats.forks, 7u);
+  EXPECT_EQ(result.stats.joins, 7u);
+  // No guesses means nothing to verify, commit, or abort, and no join-time
+  // control traffic.
+  EXPECT_EQ(result.stats.commits, 0u);
+  EXPECT_EQ(result.stats.total_aborts(), 0u);
+  EXPECT_EQ(result.stats.control_sent, 0u);
+  EXPECT_EQ(result.stats.rollbacks, 0u);
+}
+
+TEST(SafeElision, TraceMatchesPessimistic) {
+  auto scenario = core::safe_fanout_scenario(base_params(6));
+  auto pessimistic = baseline::run_scenario(scenario, false);
+  auto optimistic = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pessimistic.all_completed);
+  ASSERT_TRUE(optimistic.all_completed);
+  std::string why;
+  EXPECT_TRUE(
+      trace::compare_traces(pessimistic.trace, optimistic.trace, &why))
+      << why;
+  EXPECT_LT(optimistic.last_completion, pessimistic.last_completion);
+}
+
+TEST(SafeElision, OracleRoutesSafeSitesThroughGuardedPath) {
+  auto params = base_params(4);
+  params.spec.safe_site_oracle = true;
+  auto result =
+      baseline::run_scenario(core::safe_fanout_scenario(params), true);
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  // Under the oracle every SAFE site runs the full machinery and its claim
+  // is checked dynamically: the guesses all verify.
+  EXPECT_EQ(result.stats.safe_forks, 0u);
+  EXPECT_EQ(result.stats.forks, 3u);
+  EXPECT_EQ(result.stats.commits, 3u);
+  EXPECT_EQ(result.stats.safe_oracle_violations, 0u);
+  EXPECT_EQ(result.stats.total_aborts(), 0u);
+}
+
+// Randomized property: across fan-out widths, latencies, and seeds, (a) the
+// oracle never observes a value/time fault at a SAFE-classified site, and
+// (b) elided and oracle-checked runs both commit the sequential trace.
+TEST(SafeElision, PropertyOracleNeverFires) {
+  util::Rng rng(20260805);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto params = base_params(static_cast<int>(rng.uniform_int(2, 9)));
+    params.net.latency = sim::microseconds(rng.uniform_int(50, 550));
+    params.service_time = sim::microseconds(rng.uniform_int(1, 40));
+    params.net.jitter = sim::microseconds(rng.uniform_int(0, 50));
+    params.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+
+    auto scenario = core::safe_fanout_scenario(params);
+    auto pessimistic = baseline::run_scenario(scenario, false);
+    ASSERT_TRUE(pessimistic.all_completed) << "trial " << trial;
+
+    params.spec.safe_site_oracle = true;
+    auto oracle =
+        baseline::run_scenario(core::safe_fanout_scenario(params), true);
+    ASSERT_TRUE(oracle.all_completed) << "trial " << trial;
+    EXPECT_EQ(oracle.stats.safe_oracle_violations, 0u)
+        << "trial " << trial << ": " << oracle.stats.to_string();
+
+    params.spec.safe_site_oracle = false;
+    auto elided =
+        baseline::run_scenario(core::safe_fanout_scenario(params), true);
+    ASSERT_TRUE(elided.all_completed) << "trial " << trial;
+    EXPECT_GT(elided.stats.safe_forks, 0u);
+
+    std::string why;
+    EXPECT_TRUE(
+        trace::compare_traces(pessimistic.trace, oracle.trace, &why))
+        << "trial " << trial << " (oracle): " << why;
+    EXPECT_TRUE(
+        trace::compare_traces(pessimistic.trace, elided.trace, &why))
+        << "trial " << trial << " (elided): " << why;
+  }
+}
+
+}  // namespace
+}  // namespace ocsp

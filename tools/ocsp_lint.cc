@@ -1,0 +1,189 @@
+// ocsp_lint — static interference analysis over CSP programs.
+//
+// Classifies every fork site (declared hint or already-inserted fork) of
+// the built-in workloads as SAFE / SPECULATIVE / REJECT and prints the
+// findings the classifier produced along the way.  Exit status is nonzero
+// iff any linted program carries an error-severity finding, so the binary
+// doubles as a CI gate.
+//
+// Usage:
+//   ocsp_lint                    lint every built-in workload
+//   ocsp_lint --program=NAME     lint one program (including the
+//                                deliberately broken `broken_fixture`)
+//   ocsp_lint --list             list the available program names
+//   ocsp_lint --json=PATH        additionally write a machine-readable
+//                                report ({"schema":"ocsp-lint-v1",...})
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "core/workloads.h"
+#include "csp/program.h"
+#include "util/json.h"
+
+namespace ocsp {
+namespace {
+
+using csp::Value;
+
+struct LintTarget {
+  std::string name;
+  std::vector<std::pair<std::string, csp::StmtPtr>> processes;
+  bool fixture = false;  ///< excluded from the default (CI-clean) run
+};
+
+std::vector<std::pair<std::string, csp::StmtPtr>> scenario_processes(
+    const baseline::Scenario& s) {
+  std::vector<std::pair<std::string, csp::StmtPtr>> out;
+  for (const auto& p : s.processes) out.emplace_back(p.name, p.program);
+  return out;
+}
+
+/// A program exercising every refusal the classifier knows: a hint whose
+/// halves are certain to interfere, an automatic hint over an opaque native
+/// statement, a span wider than the statements before it, and a hint with
+/// no enclosing sequence position.
+csp::StmtPtr broken_fixture() {
+  using namespace csp;
+  return seq({
+      call("S", "Op", {lit(Value(1))}, "a"),
+      hint({}, "same-target"),  // S2 below also must-calls S
+      call("S", "Op", {lit(Value(2))}, "b"),
+      native("mystery", [](Env&, util::Rng&) {}),
+      hint({}, "opaque"),  // automatic mode cannot see through the native
+      call("T", "Op", {lit(Value(3))}, "c"),
+      hint({}, "too-wide", /*span=*/99),
+      if_(lit(Value(true)), hint({}, "misplaced")),
+      print(var("c")),
+  });
+}
+
+std::vector<LintTarget> registry() {
+  std::vector<LintTarget> out;
+
+  core::PutLineParams putline;
+  out.push_back({"putline",
+                 scenario_processes(core::putline_scenario(putline))});
+
+  core::DbFsParams dbfs;
+  dbfs.transform = false;  // lint the declared hint, not the expanded fork
+  out.push_back({"db_fs", scenario_processes(core::db_fs_scenario(dbfs))});
+
+  core::PipelineParams pipeline;
+  out.push_back({"pipeline",
+                 scenario_processes(core::pipeline_scenario(pipeline))});
+
+  core::WriteThroughParams wt;
+  out.push_back(
+      {"write_through",
+       scenario_processes(core::write_through_scenario(wt))});
+
+  core::MutualParams mutual;
+  out.push_back({"mutual",
+                 scenario_processes(core::mutual_scenario(mutual))});
+
+  core::SharedServerParams shared;
+  out.push_back(
+      {"shared_server",
+       scenario_processes(core::shared_server_scenario(shared))});
+
+  core::SafeFanoutParams fanout;
+  fanout.transform = false;
+  out.push_back(
+      {"safe_fanout",
+       scenario_processes(core::safe_fanout_scenario(fanout))});
+
+  out.push_back({"broken_fixture",
+                 {{"X", broken_fixture()}},
+                 /*fixture=*/true});
+  return out;
+}
+
+int run(int argc, char** argv) {
+  bool list = false;
+  std::string only;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg.rfind("--program=", 0) == 0) {
+      only = arg.substr(std::strlen("--program="));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(std::strlen("--json="));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: ocsp_lint [--list] [--program=NAME] "
+                  "[--json=PATH]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "ocsp_lint: unknown argument %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const std::vector<LintTarget> targets = registry();
+  if (list) {
+    for (const auto& t : targets) {
+      std::printf("%s%s\n", t.name.c_str(),
+                  t.fixture ? " (fixture, lint explicitly)" : "");
+    }
+    return 0;
+  }
+
+  std::vector<analysis::ProgramReport> reports;
+  bool found = only.empty();
+  for (const auto& t : targets) {
+    if (only.empty() ? t.fixture : t.name != only) continue;
+    found = true;
+    for (const auto& [proc, program] : t.processes) {
+      analysis::ProgramReport rep =
+          analysis::analyze_program(program, t.name + "/" + proc);
+      // Processes without a single fork site (plain native services) have
+      // nothing to report; keep the output focused on the clients.
+      if (rep.sites.empty() && rep.findings.empty()) continue;
+      reports.push_back(std::move(rep));
+    }
+  }
+  if (!found) {
+    std::fprintf(stderr, "ocsp_lint: no program named %s (try --list)\n",
+                 only.c_str());
+    return 2;
+  }
+
+  bool errors = false;
+  for (const auto& rep : reports) {
+    std::printf("%s", rep.to_text().c_str());
+    errors |= rep.has_errors();
+  }
+
+  if (!json_path.empty()) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("schema").value("ocsp-lint-v1");
+    w.key("errors").value(errors);
+    w.key("programs").begin_array();
+    for (const auto& rep : reports) rep.write_json(w);
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "ocsp_lint: cannot write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    const std::string text = w.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+
+  return errors ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace ocsp
+
+int main(int argc, char** argv) { return ocsp::run(argc, argv); }
