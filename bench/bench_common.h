@@ -130,8 +130,17 @@ class MetricsTrajectory {
   std::vector<Entry> entries_;
 };
 
-/// Strip --ocsp_json_out=<path> from argv (google-benchmark would reject
-/// it) and arm the trajectory collector.
+/// Smoke mode (--ocsp_smoke): reports shrink their parameter sweeps so CI
+/// can exercise every bench binary end-to-end in seconds.  The claims are
+/// still checked — only the swept range is reduced.
+inline bool& smoke_mode() {
+  static bool smoke = false;
+  return smoke;
+}
+
+/// Strip the ocsp-specific flags from argv (google-benchmark would reject
+/// them): --ocsp_json_out=<path> arms the trajectory collector and
+/// --ocsp_smoke enables smoke mode.
 inline void consume_json_out_flag(int* argc, char** argv) {
   const std::string prefix = "--ocsp_json_out=";
   int out = 1;
@@ -139,6 +148,8 @@ inline void consume_json_out_flag(int* argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind(prefix, 0) == 0) {
       MetricsTrajectory::instance().set_output(arg.substr(prefix.size()));
+    } else if (arg == "--ocsp_smoke") {
+      smoke_mode() = true;
     } else {
       argv[out++] = argv[i];
     }

@@ -1,11 +1,17 @@
-// Experiment C9 (extension) — speculative-state footprint over run length.
+// Experiment C9 (extension) — speculative-state footprint over run length,
+// and C10 — checkpoint cost vs state size under the two state strategies.
 //
 // The paper notes processes must "maintain the ability to roll back state"
-// but leaves reclamation open.  This bench measures the retained state
+// but leaves reclamation open.  The C9 half measures the retained state
 // (checkpoints + logged inputs) of a long-running server as the request
-// count grows, with and without faults keeping guesses in doubt, under
-// both rollback strategies.  With GC the footprint is bounded by the
-// in-doubt window; without it it would grow linearly with uptime.
+// count grows under both rollback strategies: with GC the footprint is
+// bounded by the in-doubt window; without it it would grow linearly with
+// uptime.  The C10 half sweeps the size of the environment a process
+// carries and compares the bytes materialized per checkpoint under
+// kDeepCopy (the historical O(|state|) copy) against kCow (structural
+// sharing): COW's copied bytes stay flat while the deep oracle's grow
+// linearly with state size.  The sweep double-checks correctness, too —
+// the binary aborts if the two strategies commit different traces.
 #include "bench_common.h"
 #include "speculation/runtime.h"
 
@@ -34,7 +40,90 @@ Footprint measure(int lines, double fail, spec::RollbackStrategy strategy) {
                    server.stats().log_entries_pruned};
 }
 
+// --------------------------------------------------------------------------
+// C10 — checkpoint cost vs state size: kDeepCopy vs kCow.
+// --------------------------------------------------------------------------
+
+/// PutLine workload whose processes carry `pad_vars` extra 64-byte string
+/// bindings: inert state that every checkpoint nevertheless has to
+/// preserve, which is exactly where deep copying and structural sharing
+/// diverge.
+baseline::Scenario padded_scenario(int pad_vars, spec::StateStrategy s) {
+  core::PutLineParams p;
+  p.lines = 24;
+  p.fail_probability = 0.15;  // wrong guesses keep rollback restores hot
+  p.net.latency = sim::microseconds(200);
+  p.spec.state = s;
+  auto scenario = core::putline_scenario(p);
+  const csp::Value padding(std::string(64, 'p'));
+  for (auto& proc : scenario.processes) {
+    for (int i = 0; i < pad_vars; ++i) {
+      proc.env.set("__pad" + std::to_string(i), padding);
+    }
+  }
+  return scenario;
+}
+
+baseline::RunResult run_state_strategy(int pad_vars, spec::StateStrategy s) {
+  auto result = baseline::run_scenario(padded_scenario(pad_vars, s), true);
+  OCSP_CHECK_MSG(result.all_completed,
+                 "state-strategy sweep run did not complete");
+  return result;
+}
+
+/// The sweep's correctness gate: the strategies may differ only in cost.
+/// CHECK-fails (and so fails the binary and any CI job running it) on
+/// committed-trace divergence.
+void check_strategy_equivalence(const baseline::RunResult& deep,
+                                const baseline::RunResult& cow) {
+  std::string why;
+  OCSP_CHECK_MSG(trace::compare_traces(deep.trace, cow.trace, &why),
+                 why.c_str());
+  OCSP_CHECK_MSG(deep.stats.commits == cow.stats.commits &&
+                     deep.stats.rollbacks == cow.stats.rollbacks &&
+                     deep.stats.checkpoints == cow.stats.checkpoints,
+                 "strategies disagree on protocol counters");
+}
+
+std::vector<int> sweep_sizes() {
+  if (smoke_mode()) return {0, 64};
+  return {0, 16, 64, 256, 1024};
+}
+
+void report_checkpoint_cost() {
+  print_header(
+      "C10 — checkpoint cost vs state size (deep copy vs COW)",
+      "Claim: with structural sharing, the bytes materialized per\n"
+      "checkpoint are constant in the size of the carried state; the\n"
+      "deep-copy oracle pays the full payload every time.");
+
+  util::Table table({"env vars", "strategy", "checkpoints", "bytes copied",
+                     "bytes shared", "restore bytes", "sharing ratio"});
+  for (int pad : sweep_sizes()) {
+    auto deep = run_state_strategy(pad, spec::StateStrategy::kDeepCopy);
+    auto cow = run_state_strategy(pad, spec::StateStrategy::kCow);
+    check_strategy_equivalence(deep, cow);
+    for (auto [result, name] :
+         {std::pair<const baseline::RunResult&, const char*>{deep, "deep"},
+          std::pair<const baseline::RunResult&, const char*>{cow, "cow"}}) {
+      char ratio[32];
+      std::snprintf(ratio, sizeof(ratio), "%.3f",
+                    result.stats.sharing_ratio());
+      table.row(pad, name, result.stats.checkpoints,
+                result.stats.checkpoint_bytes_copied,
+                result.stats.checkpoint_bytes_shared,
+                result.stats.rollback_restore_bytes, ratio);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Expected shape: \"bytes copied\" grows linearly with env vars under\n"
+      "deep and stays flat under cow; cow's \"bytes shared\" matches deep's\n"
+      "\"bytes copied\" exactly (same payloads at the same copy sites).\n\n");
+}
+
 void report() {
+  report_checkpoint_cost();
   print_header(
       "C9 (extension) — retained speculative state vs run length",
       "Claim: with GC, the server's retained checkpoints and input log are\n"
@@ -82,6 +171,36 @@ void BM_FootprintReplayStrategy(benchmark::State& state) {
   state.counters["pruned_log"] = static_cast<double>(f.pruned_log);
 }
 BENCHMARK(BM_FootprintReplayStrategy)->Arg(64)->Arg(256);
+
+void run_checkpoint_cost_bench(benchmark::State& state,
+                               spec::StateStrategy strategy,
+                               const char* name) {
+  const int pad = static_cast<int>(state.range(0));
+  baseline::RunResult result;
+  for (auto _ : state) {
+    result = run_state_strategy(pad, strategy);
+    benchmark::DoNotOptimize(result.stats.checkpoint_bytes_copied);
+  }
+  state.counters["bytes_copied"] =
+      static_cast<double>(result.stats.checkpoint_bytes_copied);
+  state.counters["bytes_shared"] =
+      static_cast<double>(result.stats.checkpoint_bytes_shared);
+  state.counters["restore_bytes"] =
+      static_cast<double>(result.stats.rollback_restore_bytes);
+  state.counters["sharing_ratio"] = result.stats.sharing_ratio();
+  set_counters(state, result,
+               std::string(name) + "_pad" + std::to_string(pad));
+}
+
+void BM_CheckpointDeepCopy(benchmark::State& state) {
+  run_checkpoint_cost_bench(state, spec::StateStrategy::kDeepCopy, "deep");
+}
+BENCHMARK(BM_CheckpointDeepCopy)->Arg(0)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CheckpointCow(benchmark::State& state) {
+  run_checkpoint_cost_bench(state, spec::StateStrategy::kCow, "cow");
+}
+BENCHMARK(BM_CheckpointCow)->Arg(0)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 }  // namespace ocsp::bench

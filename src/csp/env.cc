@@ -5,22 +5,23 @@
 namespace ocsp::csp {
 
 const Value& Env::get(const std::string& name) const {
-  auto it = vars_.find(name);
-  OCSP_CHECK_MSG(it != vars_.end(), ("unbound variable: " + name).c_str());
-  return it->second;
+  const Value* v = vars_.find(name);
+  OCSP_CHECK_MSG(v != nullptr, ("unbound variable: " + name).c_str());
+  return *v;
 }
 
-const Value& Env::get_or(const std::string& name,
-                         const Value& fallback) const {
-  auto it = vars_.find(name);
-  return it == vars_.end() ? fallback : it->second;
+Value Env::get_or(const std::string& name, const Value& fallback) const {
+  const Value* v = vars_.find(name);
+  return v == nullptr ? fallback : *v;
 }
 
 void Env::set(const std::string& name, Value value) {
-  vars_[name] = std::move(value);
+  vars_.set(name, std::move(value));
 }
 
-bool Env::has(const std::string& name) const { return vars_.count(name) > 0; }
+bool Env::has(const std::string& name) const {
+  return vars_.find(name) != nullptr;
+}
 
 void Env::erase(const std::string& name) { vars_.erase(name); }
 

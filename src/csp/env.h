@@ -1,14 +1,19 @@
 // Variable environment: the data half of a checkpointable machine state.
 //
 // Rollback in this library is "swap the state value back in"; Env is a
-// plain copyable map so a checkpoint is an ordinary copy.  std::map keeps
-// iteration deterministic, which matters for trace comparison.
+// copyable map, so a checkpoint is an ordinary copy.  Internally it is a
+// persistent structural-sharing tree (csp/persistent_map.h): copying an
+// Env is O(1) — the copies share every node — and a set/erase rebuilds
+// only the touched root-to-leaf path, so checkpoint/fork/rollback cost is
+// proportional to what changed, not to total state size.  Iteration is in
+// sorted key order, which keeps trace comparison deterministic exactly as
+// the std::map it replaced did.
 #pragma once
 
-#include <map>
 #include <set>
 #include <string>
 
+#include "csp/persistent_map.h"
 #include "csp/value.h"
 
 namespace ocsp::csp {
@@ -17,10 +22,13 @@ class Env {
  public:
   /// Read a variable; OCSP_CHECK-fails if absent (programs must assign
   /// before use — the transformer's passed-variable analysis relies on it).
+  /// The reference stays valid until this Env is next mutated.
   const Value& get(const std::string& name) const;
 
-  /// Read a variable, or `fallback` if absent.
-  const Value& get_or(const std::string& name, const Value& fallback) const;
+  /// Read a variable, or `fallback` if absent.  Returns by value: Value
+  /// copies are O(1), and returning a reference here once dangled when the
+  /// fallback was a temporary.
+  Value get_or(const std::string& name, const Value& fallback) const;
 
   void set(const std::string& name, Value value);
   bool has(const std::string& name) const;
@@ -33,13 +41,38 @@ class Env {
 
   std::string to_string() const;
 
-  friend bool operator==(const Env&, const Env&) = default;
+  /// Structural equality, with an O(1) shared-root fast path.
+  friend bool operator==(const Env& a, const Env& b) {
+    return a.vars_ == b.vars_;
+  }
 
   auto begin() const { return vars_.begin(); }
   auto end() const { return vars_.end(); }
 
+  /// Approximate heap footprint of the bound state (O(1), aggregated in
+  /// the tree).  The speculation layer's checkpoint accounting reports
+  /// this as "bytes shared" under COW and "bytes copied" under the
+  /// deep-copy oracle.
+  std::size_t approx_bytes() const { return vars_.approx_bytes(); }
+
+  /// True when both environments share their entire tree (copies that
+  /// have not diverged).
+  bool shares_root_with(const Env& other) const {
+    return vars_.same_root(other.vars_);
+  }
+
+  /// An environment sharing no storage with this one — fresh nodes and
+  /// fresh value payloads.  The kDeepCopy state strategy uses this to
+  /// reproduce the historical O(|state|) checkpoint cost as a
+  /// differential-testing oracle.
+  Env deep_copy() const {
+    Env out;
+    out.vars_ = vars_.deep_copy();
+    return out;
+  }
+
  private:
-  std::map<std::string, Value> vars_;
+  PersistentValueMap vars_;
 };
 
 }  // namespace ocsp::csp

@@ -91,6 +91,16 @@ class Machine {
   const Env& env() const { return env_; }
   util::Rng& rng() { return rng_; }
 
+  /// Approximate heap footprint of the data state (the Env); O(1).
+  std::size_t state_bytes() const { return env_.approx_bytes(); }
+
+  /// Detach the Env into freshly allocated storage sharing nothing with
+  /// any other machine.  Program AST and frame stack stay shared — the AST
+  /// is immutable and frames are just (stmt, pc) pairs.  Used by the
+  /// kDeepCopy state strategy to reproduce the historical O(|state|)
+  /// checkpoint cost.
+  void deep_copy_state() { env_ = env_.deep_copy(); }
+
   /// Frame-stack depth, exposed for tests and diagnostics.
   std::size_t depth() const { return stack_.size(); }
 

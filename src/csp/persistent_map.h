@@ -1,0 +1,254 @@
+// Persistent (path-copying) sorted map from variable name to Value.
+//
+// The structural-sharing backbone of csp::Env: nodes are immutable and
+// shared between map instances, so copying a map is a shared_ptr copy
+// (O(1)) and a set/erase rebuilds only the touched root-to-leaf path
+// (O(log n)) — the classic persistent-search-tree construction (Driscoll
+// et al., JCSS 1989).  Keys are kept in sorted order by an AVL balance,
+// so iteration is deterministic and identical to the std::map the Env
+// used to wrap.
+//
+// Every node carries the approximate heap footprint of its subtree
+// (node overhead + key + value payload bytes), aggregated at node
+// construction, so approx_bytes() — the quantity the speculation layer's
+// checkpoint accounting reports — is O(1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "csp/value.h"
+#include "util/check.h"
+
+namespace ocsp::csp {
+
+class PersistentValueMap {
+ public:
+  PersistentValueMap() = default;
+
+  std::size_t size() const { return count_of(root_); }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Pointer to the stored value, or nullptr if absent.  The pointer is
+  /// valid while any map instance sharing the node stays alive and this
+  /// instance is not mutated.
+  const Value* find(const std::string& key) const {
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      const int c = key.compare(n->key);
+      if (c == 0) return &n->value;
+      n = (c < 0 ? n->left : n->right).get();
+    }
+    return nullptr;
+  }
+
+  /// Insert or overwrite; copies only the path to `key`.
+  void set(const std::string& key, Value value) {
+    root_ = insert(root_, key, std::move(value));
+  }
+
+  /// Remove `key` if present; copies only the path to it.
+  bool erase(const std::string& key) {
+    bool erased = false;
+    root_ = remove(root_, key, &erased);
+    return erased;
+  }
+
+  void clear() { root_ = nullptr; }
+
+  /// Approximate heap footprint of the whole tree (O(1): aggregated per
+  /// subtree at node construction).
+  std::size_t approx_bytes() const { return root_ ? root_->bytes : 0; }
+
+  /// True when the two maps share their entire tree — the O(1) equality
+  /// and the "this checkpoint cost nothing" witness.
+  bool same_root(const PersistentValueMap& other) const {
+    return root_ == other.root_;
+  }
+
+  /// Fresh nodes and fresh value payloads all the way down: no storage is
+  /// shared with this map afterwards.  The deep-copy oracle strategy uses
+  /// this to reproduce the historical O(|state|) checkpoint cost.
+  PersistentValueMap deep_copy() const {
+    PersistentValueMap out;
+    out.root_ = clone(root_);
+    return out;
+  }
+
+  friend bool operator==(const PersistentValueMap& a,
+                         const PersistentValueMap& b) {
+    if (a.root_ == b.root_) return true;
+    if (a.size() != b.size()) return false;
+    auto ia = a.begin(), ib = b.begin();
+    for (; ia != a.end(); ++ia, ++ib) {
+      if ((*ia).first != (*ib).first || !((*ia).second == (*ib).second)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct Node {
+    NodePtr left;
+    NodePtr right;
+    std::string key;
+    Value value;
+    std::uint32_t height = 1;
+    std::size_t count = 1;
+    std::size_t bytes = 0;  ///< subtree footprint, aggregated
+  };
+
+ public:
+  /// In-order (sorted-key) iterator.  Pins the root it was created from,
+  /// so the traversal stays valid even if the map is mutated mid-loop —
+  /// it simply walks the pre-mutation snapshot.
+  class const_iterator {
+   public:
+    using value_type = std::pair<const std::string&, const Value&>;
+
+    const_iterator() = default;
+
+    value_type operator*() const {
+      OCSP_CHECK(!stack_.empty());
+      const Node* n = stack_.back();
+      return {n->key, n->value};
+    }
+
+    const_iterator& operator++() {
+      OCSP_CHECK(!stack_.empty());
+      const Node* n = stack_.back();
+      stack_.pop_back();
+      descend(n->right.get());
+      return *this;
+    }
+
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.stack_ == b.stack_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    friend class PersistentValueMap;
+    explicit const_iterator(NodePtr root) : pinned_(std::move(root)) {
+      descend(pinned_.get());
+    }
+    void descend(const Node* n) {
+      for (; n != nullptr; n = n->left.get()) stack_.push_back(n);
+    }
+    NodePtr pinned_;
+    std::vector<const Node*> stack_;
+  };
+
+  const_iterator begin() const { return const_iterator(root_); }
+  const_iterator end() const { return const_iterator(); }
+
+ private:
+  static std::uint32_t height_of(const NodePtr& n) {
+    return n ? n->height : 0;
+  }
+  static std::size_t count_of(const NodePtr& n) { return n ? n->count : 0; }
+  static std::size_t bytes_of(const NodePtr& n) { return n ? n->bytes : 0; }
+
+  static NodePtr make(NodePtr left, NodePtr right, std::string key,
+                      Value value) {
+    auto n = std::make_shared<Node>();
+    n->key = std::move(key);
+    n->value = std::move(value);
+    n->height = 1 + std::max(height_of(left), height_of(right));
+    n->count = 1 + count_of(left) + count_of(right);
+    n->bytes = sizeof(Node) + n->key.size() + n->value.approx_bytes() +
+               bytes_of(left) + bytes_of(right);
+    n->left = std::move(left);
+    n->right = std::move(right);
+    return n;
+  }
+
+  /// Rebuild a node whose children may be out of balance by at most 2
+  /// (the post-insert/erase invariant), applying the AVL rotations.
+  static NodePtr balance(NodePtr left, NodePtr right, const std::string& key,
+                         const Value& value) {
+    const std::uint32_t hl = height_of(left), hr = height_of(right);
+    if (hl > hr + 1) {
+      const Node& l = *left;
+      if (height_of(l.left) >= height_of(l.right)) {  // LL: rotate right
+        return make(l.left, make(l.right, std::move(right), key, value),
+                    l.key, l.value);
+      }
+      const Node& lr = *l.right;  // LR: double rotation
+      return make(make(l.left, lr.left, l.key, l.value),
+                  make(lr.right, std::move(right), key, value), lr.key,
+                  lr.value);
+    }
+    if (hr > hl + 1) {
+      const Node& r = *right;
+      if (height_of(r.right) >= height_of(r.left)) {  // RR: rotate left
+        return make(make(std::move(left), r.left, key, value), r.right,
+                    r.key, r.value);
+      }
+      const Node& rl = *r.left;  // RL: double rotation
+      return make(make(std::move(left), rl.left, key, value),
+                  make(rl.right, r.right, r.key, r.value), rl.key, rl.value);
+    }
+    return make(std::move(left), std::move(right), key, value);
+  }
+
+  static NodePtr insert(const NodePtr& n, const std::string& key,
+                        Value value) {
+    if (!n) return make(nullptr, nullptr, key, std::move(value));
+    const int c = key.compare(n->key);
+    if (c == 0) return make(n->left, n->right, n->key, std::move(value));
+    if (c < 0) {
+      return balance(insert(n->left, key, std::move(value)), n->right,
+                     n->key, n->value);
+    }
+    return balance(n->left, insert(n->right, key, std::move(value)), n->key,
+                   n->value);
+  }
+
+  static NodePtr remove_min(const NodePtr& n) {
+    if (!n->left) return n->right;
+    return balance(remove_min(n->left), n->right, n->key, n->value);
+  }
+
+  static NodePtr remove(const NodePtr& n, const std::string& key,
+                        bool* erased) {
+    if (!n) return nullptr;
+    const int c = key.compare(n->key);
+    if (c < 0) {
+      NodePtr left = remove(n->left, key, erased);
+      if (!*erased) return n;
+      return balance(std::move(left), n->right, n->key, n->value);
+    }
+    if (c > 0) {
+      NodePtr right = remove(n->right, key, erased);
+      if (!*erased) return n;
+      return balance(n->left, std::move(right), n->key, n->value);
+    }
+    *erased = true;
+    if (!n->left) return n->right;
+    if (!n->right) return n->left;
+    const Node* successor = n->right.get();
+    while (successor->left) successor = successor->left.get();
+    return balance(n->left, remove_min(n->right), successor->key,
+                   successor->value);
+  }
+
+  static NodePtr clone(const NodePtr& n) {
+    if (!n) return nullptr;
+    return make(clone(n->left), clone(n->right), n->key,
+                n->value.deep_copy());
+  }
+
+  NodePtr root_;
+};
+
+}  // namespace ocsp::csp

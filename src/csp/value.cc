@@ -29,12 +29,12 @@ double Value::as_real() const {
 
 const std::string& Value::as_string() const {
   OCSP_CHECK_MSG(type() == Type::kString, "Value is not string");
-  return std::get<std::string>(data_);
+  return *std::get<StringPtr>(data_);
 }
 
 const ValueList& Value::as_list() const {
   OCSP_CHECK_MSG(type() == Type::kList, "Value is not list");
-  return std::get<ValueList>(data_);
+  return *std::get<ListPtr>(data_);
 }
 
 bool Value::truthy() const {
@@ -48,9 +48,9 @@ bool Value::truthy() const {
     case Type::kReal:
       return std::get<double>(data_) != 0.0;
     case Type::kString:
-      return !std::get<std::string>(data_).empty();
+      return !as_string().empty();
     case Type::kList:
-      return !std::get<ValueList>(data_).empty();
+      return !as_list().empty();
   }
   return false;
 }
@@ -69,10 +69,10 @@ std::string Value::to_string() const {
       return os.str();
     }
     case Type::kString:
-      return "\"" + std::get<std::string>(data_) + "\"";
+      return "\"" + as_string() + "\"";
     case Type::kList: {
       std::string out = "[";
-      const auto& list = std::get<ValueList>(data_);
+      const auto& list = as_list();
       for (std::size_t i = 0; i < list.size(); ++i) {
         if (i) out += ", ";
         out += list[i].to_string();
@@ -81,6 +81,29 @@ std::string Value::to_string() const {
     }
   }
   return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.data_.index() != b.data_.index()) return false;
+  switch (a.type()) {
+    case Value::Type::kString: {
+      const auto& pa = std::get<Value::StringPtr>(a.data_);
+      const auto& pb = std::get<Value::StringPtr>(b.data_);
+      return pa == pb || *pa == *pb;
+    }
+    case Value::Type::kList: {
+      const auto& pa = std::get<Value::ListPtr>(a.data_);
+      const auto& pb = std::get<Value::ListPtr>(b.data_);
+      if (pa == pb) return true;
+      if (pa->size() != pb->size()) return false;
+      for (std::size_t i = 0; i < pa->size(); ++i) {
+        if (!((*pa)[i] == (*pb)[i])) return false;
+      }
+      return true;
+    }
+    default:
+      return a.data_ == b.data_;
+  }
 }
 
 int Value::compare(const Value& a, const Value& b) {
@@ -99,6 +122,47 @@ int Value::compare(const Value& a, const Value& b) {
   }
   OCSP_CHECK_MSG(false, "Value::compare on incomparable types");
   return 0;
+}
+
+std::size_t Value::approx_bytes() const {
+  switch (type()) {
+    case Type::kString:
+      return sizeof(std::string) + as_string().size();
+    case Type::kList: {
+      std::size_t bytes = sizeof(ValueList);
+      for (const auto& v : as_list()) bytes += sizeof(Value) + v.approx_bytes();
+      return bytes;
+    }
+    default:
+      return 0;
+  }
+}
+
+Value Value::deep_copy() const {
+  switch (type()) {
+    case Type::kString:
+      return Value(std::string(as_string()));
+    case Type::kList: {
+      ValueList out;
+      out.reserve(as_list().size());
+      for (const auto& v : as_list()) out.push_back(v.deep_copy());
+      return Value(std::move(out));
+    }
+    default:
+      return *this;
+  }
+}
+
+bool Value::shares_storage_with(const Value& other) const {
+  if (data_.index() != other.data_.index()) return false;
+  switch (type()) {
+    case Type::kString:
+      return std::get<StringPtr>(data_) == std::get<StringPtr>(other.data_);
+    case Type::kList:
+      return std::get<ListPtr>(data_) == std::get<ListPtr>(other.data_);
+    default:
+      return false;
+  }
 }
 
 namespace {

@@ -5,9 +5,17 @@
 // or a list of values.  Values are the unit of guessing — a fork's predictor
 // produces a Value per passed variable, and the join verifier compares
 // Values for equality.
+//
+// String and list payloads live behind shared immutable storage: copying a
+// Value is a refcount bump, never a payload copy.  "Mutation" is rebinding
+// (constructing a new Value); nothing can write through an existing
+// payload, so aliased copies can never observe each other's changes.  This
+// is what makes Env checkpoints and fork-time machine copies O(1) in the
+// speculation layer (ISSUE 4 / the paper's §3.2 copy-elision economics).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -26,9 +34,11 @@ class Value {
   Value(std::int64_t i) : data_(i) {}
   Value(int i) : data_(static_cast<std::int64_t>(i)) {}
   Value(double d) : data_(d) {}
-  Value(const char* s) : data_(std::string(s)) {}
-  Value(std::string s) : data_(std::move(s)) {}
-  Value(ValueList l) : data_(std::move(l)) {}
+  Value(const char* s) : data_(std::make_shared<const std::string>(s)) {}
+  Value(std::string s)
+      : data_(std::make_shared<const std::string>(std::move(s))) {}
+  Value(ValueList l)
+      : data_(std::make_shared<const ValueList>(std::move(l))) {}
 
   Type type() const;
   bool is_nil() const { return type() == Type::kNil; }
@@ -45,16 +55,33 @@ class Value {
 
   std::string to_string() const;
 
-  friend bool operator==(const Value& a, const Value& b) {
-    return a.data_ == b.data_;
-  }
+  /// Structural equality, with a same-payload fast path for shared
+  /// storage.
+  friend bool operator==(const Value& a, const Value& b);
 
   /// Ordering for Lt/Le/...; defined for same-type numeric and string pairs.
   static int compare(const Value& a, const Value& b);
 
+  /// Approximate heap bytes of the payload (0 for inline scalars);
+  /// recursive for lists.  Feeds the Env/checkpoint byte accounting.
+  std::size_t approx_bytes() const;
+
+  /// A value with freshly allocated payloads all the way down — shares no
+  /// storage with this one.  Used by the deep-copy oracle state strategy.
+  Value deep_copy() const;
+
+  /// True when both values alias the same string/list payload object.
+  /// Scalars are stored inline and never share; they return false.
+  bool shares_storage_with(const Value& other) const;
+
  private:
-  std::variant<std::monostate, bool, std::int64_t, double, std::string,
-               ValueList>
+  using StringPtr = std::shared_ptr<const std::string>;
+  using ListPtr = std::shared_ptr<const ValueList>;
+
+  // Alternative order must match Type's enumerator order: type() is
+  // data_.index().
+  std::variant<std::monostate, bool, std::int64_t, double, StringPtr,
+               ListPtr>
       data_;
 };
 

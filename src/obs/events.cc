@@ -49,6 +49,8 @@ const char* to_string(EventKind k) {
       return "msg-sent";
     case EventKind::kMsgDelivered:
       return "msg-delivered";
+    case EventKind::kCheckpointTaken:
+      return "checkpoint";
   }
   return "?";
 }

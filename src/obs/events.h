@@ -39,8 +39,10 @@ enum class EventKind : std::uint8_t {
   kExternalDiscarded,  ///< buffered external output destroyed by an abort
   kMsgSent,            ///< network accepted a message for delivery
   kMsgDelivered,       ///< network delivered a message
+  kCheckpointTaken,    ///< state snapshot stored; a = bytes materialized,
+                       ///< b = bytes structurally shared (COW)
 };
-inline constexpr std::size_t kEventKindCount = 18;
+inline constexpr std::size_t kEventKindCount = 19;
 
 enum class AbortReason : std::uint8_t {
   kNone,

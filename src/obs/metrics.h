@@ -82,4 +82,17 @@ inline util::Histogram& external_dwell_hist(MetricsRegistry& m) {
   return m.histogram("external_dwell_us", 0, 100000, 50);
 }
 
+/// Recompute the derived checkpoint-sharing gauge — the fraction of
+/// state-copy bytes that were structurally shared instead of materialized —
+/// from the (merged) byte counters.  Gauges are not merged, so every
+/// merge point must call this after combining counters.
+inline void update_sharing_ratio_gauge(MetricsRegistry& m) {
+  const std::uint64_t copied = m.counter_or("checkpoint_bytes_copied");
+  const std::uint64_t shared = m.counter_or("checkpoint_bytes_shared");
+  if (copied + shared > 0) {
+    m.gauge("checkpoint_sharing_ratio") =
+        static_cast<double>(shared) / static_cast<double>(copied + shared);
+  }
+}
+
 }  // namespace ocsp::obs

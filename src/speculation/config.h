@@ -19,6 +19,22 @@ enum class RollbackStrategy {
   kReplayFromLog,
 };
 
+/// How checkpoint/fork/rollback state copies are materialized.  Either way
+/// the observable semantics are identical (csp::Value payloads are
+/// immutable, so aliasing is never visible); the strategies differ only in
+/// cost, which is why kDeepCopy survives as a differential-testing oracle
+/// for the structural-sharing fast path.
+enum class StateStrategy {
+  /// Detach every state copy into fresh storage: the historical
+  /// O(|state|) cost per checkpoint / fork / rollback restore.
+  kDeepCopy,
+  /// Copy-on-write: a state copy is a shared handle (O(1)); a write
+  /// path-copies only the touched tree path (O(log n)).  This is the
+  /// analogue of the paper's §3.2 copy elision — speculation stays cheap
+  /// no matter how large the environment grows.
+  kCow,
+};
+
 /// How COMMIT/ABORT control messages are distributed (section 4.2.5).
 enum class ControlPlane {
   /// Broadcast to every process ("should work well in a LAN where threads
@@ -59,6 +75,10 @@ struct SpecConfig {
   int retry_limit = 8;
 
   RollbackStrategy rollback = RollbackStrategy::kCheckpointEveryInterval;
+
+  /// How checkpoint/fork/rollback state copies are materialized; kDeepCopy
+  /// is the differential-testing oracle for the COW fast path.
+  StateStrategy state = StateStrategy::kCow;
 
   /// Replay strategy only: take a full checkpoint every N dependency-
   /// introducing acceptances ("less frequent checkpoints" — the classic

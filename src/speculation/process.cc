@@ -94,6 +94,7 @@ void SpeculativeProcess::record_abort(const GuessId& g,
 obs::MetricsRegistry SpeculativeProcess::metrics_view() const {
   obs::MetricsRegistry m = live_metrics_;
   stats_.export_to(m);
+  obs::update_sharing_ratio_gauge(m);
   for (const auto& [key, acc] : predictors_.accuracy()) {
     const std::string base =
         "predictor/" + key.first + "." + key.second + "/";
@@ -115,6 +116,16 @@ ProcessId SpeculativeProcess::resolve(const std::string& target) const {
 
 StateIndex SpeculativeProcess::current_index(const ThreadCtx& t) const {
   return StateIndex{incarnation_, t.index, t.interval};
+}
+
+std::vector<std::pair<StateIndex, csp::Env>>
+SpeculativeProcess::checkpoint_envs() const {
+  std::vector<std::pair<StateIndex, csp::Env>> out;
+  out.reserve(checkpoints_.size());
+  for (const auto& [key, snapshot] : checkpoints_) {
+    out.emplace_back(key, snapshot.machine.env());
+  }
+  return out;
 }
 
 std::size_t SpeculativeProcess::live_thread_count() const {
@@ -385,9 +396,40 @@ void SpeculativeProcess::check_completion() {
   timeline().note(completion_time_, id_, "process completed");
 }
 
+void SpeculativeProcess::apply_state_strategy(csp::Machine& copy) {
+  const std::uint64_t payload = copy.state_bytes();
+  if (config_.state == StateStrategy::kDeepCopy) {
+    copy.deep_copy_state();
+    stats_.checkpoint_bytes_copied += payload;
+  } else {
+    // The copy already happened (a shared handle); only account it.
+    stats_.checkpoint_bytes_copied += sizeof(csp::Env);
+    stats_.checkpoint_bytes_shared += payload;
+  }
+}
+
+std::uint64_t SpeculativeProcess::restore_cost_bytes(
+    const csp::Machine& m) const {
+  return config_.state == StateStrategy::kDeepCopy
+             ? m.state_bytes()
+             : sizeof(csp::Env);
+}
+
 void SpeculativeProcess::take_checkpoint(const ThreadCtx& t) {
   ++stats_.checkpoints;
-  checkpoints_.insert_or_assign(current_index(t), t);
+  ThreadCtx snapshot = t;
+  const std::uint64_t payload = snapshot.machine.state_bytes();
+  apply_state_strategy(snapshot.machine);
+  {
+    obs::Event ev = make_event(obs::EventKind::kCheckpointTaken);
+    ev.thread = t.index;
+    ev.interval = t.interval;
+    const bool deep = config_.state == StateStrategy::kDeepCopy;
+    ev.a = deep ? payload : sizeof(csp::Env);
+    ev.b = deep ? 0 : payload;
+    recorder().record(std::move(ev));
+  }
+  checkpoints_.insert_or_assign(current_index(t), std::move(snapshot));
 }
 
 }  // namespace ocsp::spec

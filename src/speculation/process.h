@@ -163,6 +163,10 @@ class SpeculativeProcess {
   std::size_t pending_message_count() const { return pending_.size(); }
   std::size_t checkpoint_count() const { return checkpoints_.size(); }
   std::size_t input_log_size() const { return input_log_.size(); }
+  /// Env of every retained checkpoint, keyed by state index (deterministic
+  /// order; Env copies are O(1)).  Differential tests compare these across
+  /// state strategies.
+  std::vector<std::pair<StateIndex, csp::Env>> checkpoint_envs() const;
 
  private:
   friend class Runtime;
@@ -205,6 +209,14 @@ class SpeculativeProcess {
   void abort_guess_local(const GuessId& g);
   void abort_own_guess(const GuessId& g, const char* reason);
   void after_guard_change();
+
+  // ---- state strategy -----------------------------------------------------
+  /// Account — and, under StateStrategy::kDeepCopy, materialize — the
+  /// state copy that was just made into `copy`.  Under kCow the copy stays
+  /// a shared handle and only the byte counters move.
+  void apply_state_strategy(csp::Machine& copy);
+  /// Bytes materialized when a state copy is restored during rollback.
+  std::uint64_t restore_cost_bytes(const csp::Machine& m) const;
 
   // ---- rollback (4.1.3) ---------------------------------------------------
   void take_checkpoint(const ThreadCtx& t);

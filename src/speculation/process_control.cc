@@ -399,6 +399,10 @@ ThreadCtx SpeculativeProcess::rebuild_by_replay(const StateIndex& base,
                                                 const StateIndex& target) {
   ++stats_.replays;
   ThreadCtx t = checkpoints_.at(base);
+  stats_.rollback_restore_bytes += restore_cost_bytes(t.machine);
+  if (config_.state == StateStrategy::kDeepCopy) {
+    t.machine.deep_copy_state();
+  }
   auto meta_it = replay_meta_.find(target);
   OCSP_CHECK_MSG(meta_it != replay_meta_.end(),
                  ("missing replay metadata at " + target.to_string() +
@@ -545,6 +549,10 @@ void SpeculativeProcess::restore_thread(const StateIndex& target) {
   auto cp = checkpoints_.find(target);
   if (cp != checkpoints_.end()) {
     restored = cp->second;  // copy: the checkpoint stays usable
+    stats_.rollback_restore_bytes += restore_cost_bytes(restored.machine);
+    if (config_.state == StateStrategy::kDeepCopy) {
+      restored.machine.deep_copy_state();
+    }
   } else {
     // Replay strategy: no per-interval checkpoint exists.  Find the latest
     // full checkpoint of this thread at or before the target (its creation

@@ -46,11 +46,13 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
       f.mode == csp::ForkMode::kSafe && speculate && !config_.safe_site_oracle;
 
   // Prepare the right thread's start machine: a copy of the fork-point
-  // state positioned at S2 with a split RNG stream.  (When f.needs_copy is
-  // false the paper elides the state copy; with value-semantic machines the
-  // copy is how the split is expressed, so the elision is a memory
-  // optimization we only model, not a semantic difference.)
+  // state positioned at S2 with a split RNG stream.  Under the COW state
+  // strategy this copy is the paper's §3.2 elision made literal: it is a
+  // shared handle, and only the guessed-variable writes below materialize
+  // anything.  Under kDeepCopy the whole Env detaches here (the oracle's
+  // O(|state|) cost).
   csp::Machine right_machine = t.machine;
+  apply_state_strategy(right_machine);
   right_machine.take_fork_branch(/*left=*/false);
   right_machine.rng() = t.machine.rng().split();
 
@@ -161,6 +163,7 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
     t.join_guessed[v] = std::move(b);
   }
   t.join_right_initial = right_machine;  // kept for re-execution
+  apply_state_strategy(t.join_right_initial);
 
   ThreadCtx r;
   r.index = new_index;
@@ -394,6 +397,7 @@ void SpeculativeProcess::reexecute_right(ThreadCtx& left) {
   // Adopt the left thread's full final state: sequential semantics say S2
   // sees every write S1 made, not only the passed variables.
   r.machine.env() = left.machine.env();
+  apply_state_strategy(r.machine);
   // Keep only the still-relevant dependencies of the left thread.
   for (const auto& g : left.guard) {
     if (history_.status(g) == GuessStatus::kUnknown) {

@@ -140,6 +140,7 @@ obs::MetricsRegistry Runtime::metrics() const {
     m.gauge("guess_accuracy") = static_cast<double>(verified) /
                                 static_cast<double>(verified + failed);
   }
+  obs::update_sharing_ratio_gauge(m);
   m.counter("sim_events_fired") += scheduler_.fired_count();
   m.gauge("sim_peak_pending") =
       static_cast<double>(scheduler_.peak_pending());

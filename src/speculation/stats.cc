@@ -20,7 +20,10 @@ std::string SpecStats::to_string() const {
      << " externals[buf=" << externals_buffered
      << " rel=" << externals_released << " drop=" << externals_discarded
      << "]"
-     << " control=" << control_sent << " precedence=" << precedence_sent;
+     << " control=" << control_sent << " precedence=" << precedence_sent
+     << " state_bytes[copied=" << checkpoint_bytes_copied
+     << " shared=" << checkpoint_bytes_shared
+     << " restored=" << rollback_restore_bytes << "]";
   return os.str();
 }
 
@@ -47,6 +50,9 @@ void SpecStats::export_to(obs::MetricsRegistry& m) const {
   m.counter("precedence_sent") += precedence_sent;
   m.counter("checkpoints_pruned") += checkpoints_pruned;
   m.counter("log_entries_pruned") += log_entries_pruned;
+  m.counter("checkpoint_bytes_copied") += checkpoint_bytes_copied;
+  m.counter("checkpoint_bytes_shared") += checkpoint_bytes_shared;
+  m.counter("rollback_restore_bytes") += rollback_restore_bytes;
 }
 
 }  // namespace ocsp::spec

@@ -38,9 +38,32 @@ struct SpecStats {
   std::uint64_t checkpoints_pruned = 0;
   std::uint64_t log_entries_pruned = 0;
 
+  /// State-copy accounting (checkpoints, fork-time machine copies, and
+  /// join re-execution state adoption).  Under StateStrategy::kDeepCopy
+  /// every copy materializes the whole Env, so `copied` grows with
+  /// O(|state|) per event; under kCow a copy is a shared handle, so
+  /// `copied` stays at handle size and the payload lands in `shared`.
+  std::uint64_t checkpoint_bytes_copied = 0;
+  std::uint64_t checkpoint_bytes_shared = 0;
+  /// Bytes materialized while restoring a thread from a checkpoint (or a
+  /// replay base) during rollback.
+  std::uint64_t rollback_restore_bytes = 0;
+
   std::uint64_t total_aborts() const {
     return aborts_value_fault + aborts_time_fault + aborts_timeout;
   }
+
+  /// Fraction of state-copy bytes that were shared instead of
+  /// materialized; 0 when nothing was copied yet.
+  double sharing_ratio() const {
+    const std::uint64_t total = checkpoint_bytes_copied +
+                                checkpoint_bytes_shared;
+    return total == 0 ? 0.0
+                      : static_cast<double>(checkpoint_bytes_shared) /
+                            static_cast<double>(total);
+  }
+
+  friend bool operator==(const SpecStats&, const SpecStats&) = default;
 
   void merge(const SpecStats& o) {
     forks += o.forks;
@@ -65,6 +88,9 @@ struct SpecStats {
     precedence_sent += o.precedence_sent;
     checkpoints_pruned += o.checkpoints_pruned;
     log_entries_pruned += o.log_entries_pruned;
+    checkpoint_bytes_copied += o.checkpoint_bytes_copied;
+    checkpoint_bytes_shared += o.checkpoint_bytes_shared;
+    rollback_restore_bytes += o.rollback_restore_bytes;
   }
 
   std::string to_string() const;

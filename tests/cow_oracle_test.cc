@@ -1,0 +1,185 @@
+// Differential tests for the two state strategies: kDeepCopy (the
+// historical O(|state|) checkpoint, kept as the cost-model oracle) and
+// kCow (structural-sharing checkpoints).  The strategies may only differ
+// in the *cost* they account — committed traces, protocol counters, and
+// the environments captured at surviving checkpoints must be identical.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/workloads.h"
+#include "util/rng.h"
+
+namespace ocsp {
+namespace {
+
+using spec::SpecStats;
+using spec::StateStrategy;
+
+/// Strip the strategy-dependent byte accounting so the remaining counters
+/// can be compared exactly across strategies.
+SpecStats without_byte_counters(SpecStats s) {
+  s.checkpoint_bytes_copied = 0;
+  s.checkpoint_bytes_shared = 0;
+  s.rollback_restore_bytes = 0;
+  return s;
+}
+
+/// Run `scenario` optimistically under both strategies and check the
+/// oracle properties.  `label` tags failures with the workload.
+template <typename Params, typename Build>
+void expect_strategies_agree(Params params, Build build,
+                             const std::string& label) {
+  params.spec.state = StateStrategy::kDeepCopy;
+  auto deep = baseline::run_scenario(build(params), true);
+  params.spec.state = StateStrategy::kCow;
+  auto cow = baseline::run_scenario(build(params), true);
+
+  ASSERT_TRUE(deep.all_completed) << label << ": " << deep.stats.to_string();
+  ASSERT_TRUE(cow.all_completed) << label << ": " << cow.stats.to_string();
+
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(deep.trace, cow.trace, &why))
+      << label << ": " << why;
+  EXPECT_EQ(without_byte_counters(deep.stats),
+            without_byte_counters(cow.stats))
+      << label << ":\n  deep: " << deep.stats.to_string()
+      << "\n  cow:  " << cow.stats.to_string();
+  // Virtual-time behaviour is identical too: the strategies differ only in
+  // real (host) cost, never in simulated outcome.
+  EXPECT_EQ(deep.last_completion, cow.last_completion) << label;
+
+  // Cost accounting sanity: both strategies visit the same copy sites with
+  // the same payloads, so the bytes the deep oracle materializes are
+  // exactly the bytes COW shares instead; the deep oracle shares nothing.
+  EXPECT_EQ(cow.stats.checkpoint_bytes_shared,
+            deep.stats.checkpoint_bytes_copied)
+      << label;
+  EXPECT_EQ(deep.stats.checkpoint_bytes_shared, 0u) << label;
+}
+
+TEST(CowOracle, PutLineCleanRun) {
+  core::PutLineParams p;
+  p.lines = 10;
+  expect_strategies_agree(p, core::putline_scenario, "putline");
+}
+
+TEST(CowOracle, PutLineWithFailuresAndRollbacks) {
+  core::PutLineParams p;
+  p.lines = 12;
+  p.fail_probability = 0.3;  // wrong guesses force rollback + restore
+  p.seed = 99;
+  expect_strategies_agree(p, core::putline_scenario, "putline-faults");
+}
+
+TEST(CowOracle, DbFsWithUpdateFailures) {
+  core::DbFsParams p;
+  p.transactions = 6;
+  p.update_fail_probability = 0.4;
+  expect_strategies_agree(p, core::db_fs_scenario, "db_fs");
+}
+
+TEST(CowOracle, PipelineChainedGuesses) {
+  core::PipelineParams p;
+  p.calls = 6;
+  p.chain_depth = 3;
+  p.stream_relays = true;
+  expect_strategies_agree(p, core::pipeline_scenario, "pipeline");
+}
+
+TEST(CowOracle, WriteThroughTimeFault) {
+  core::WriteThroughParams p;
+  p.force_fault = true;  // Figure 4 happens-before cycle: abort + rollback
+  expect_strategies_agree(p, core::write_through_scenario, "write_through");
+}
+
+TEST(CowOracle, MutualCrossingAborts) {
+  core::MutualParams p;
+  p.crossing = true;  // Figure 7: both speculations must abort
+  expect_strategies_agree(p, core::mutual_scenario, "mutual");
+}
+
+TEST(CowOracle, SharedServerInterleaving) {
+  core::SharedServerParams p;
+  p.calls_per_client = 5;
+  expect_strategies_agree(p, core::shared_server_scenario, "shared_server");
+}
+
+TEST(CowOracle, SafeFanoutElidedPath) {
+  core::SafeFanoutParams p;
+  p.servers = 6;
+  expect_strategies_agree(p, core::safe_fanout_scenario, "safe_fanout");
+}
+
+// The environments captured at checkpoints must be equal across the
+// strategies at every surviving checkpoint index — COW snapshots see
+// exactly the state the deep copies froze.
+TEST(CowOracle, CheckpointEnvsMatchAcrossStrategies) {
+  core::PutLineParams p;
+  p.lines = 10;
+  p.fail_probability = 0.25;
+  p.seed = 7;
+
+  p.spec.state = StateStrategy::kDeepCopy;
+  auto deep_rt = baseline::make_runtime(core::putline_scenario(p), true);
+  deep_rt->run(sim::seconds(120));
+  p.spec.state = StateStrategy::kCow;
+  auto cow_rt = baseline::make_runtime(core::putline_scenario(p), true);
+  cow_rt->run(sim::seconds(120));
+
+  ASSERT_TRUE(deep_rt->all_clients_completed());
+  ASSERT_TRUE(cow_rt->all_clients_completed());
+  ASSERT_EQ(deep_rt->process_count(), cow_rt->process_count());
+  for (ProcessId id : deep_rt->all_process_ids()) {
+    const auto deep_cps = deep_rt->process(id).checkpoint_envs();
+    const auto cow_cps = cow_rt->process(id).checkpoint_envs();
+    ASSERT_EQ(deep_cps.size(), cow_cps.size())
+        << deep_rt->process(id).name();
+    for (std::size_t i = 0; i < deep_cps.size(); ++i) {
+      EXPECT_TRUE(deep_cps[i].first == cow_cps[i].first)
+          << deep_rt->process(id).name() << " checkpoint " << i;
+      EXPECT_EQ(deep_cps[i].second, cow_cps[i].second)
+          << deep_rt->process(id).name() << " checkpoint " << i;
+    }
+  }
+}
+
+// Randomized sweep in the style of safe_elision_test's oracle property:
+// across lines, failure rates, latencies, and seeds, deep-copy and COW
+// runs commit identical traces and identical protocol counters, and both
+// match the pessimistic sequential trace (Theorem 1).
+TEST(CowOracle, PropertyStrategiesAgreeAcrossRandomRuns) {
+  util::Rng rng(20260805);
+  for (int trial = 0; trial < 20; ++trial) {
+    core::PutLineParams p;
+    p.lines = static_cast<int>(rng.uniform_int(2, 16));
+    p.fail_probability = rng.uniform01() * 0.5;
+    p.net.latency = sim::microseconds(rng.uniform_int(50, 800));
+    p.net.jitter = sim::microseconds(rng.uniform_int(0, 60));
+    p.service_time = sim::microseconds(rng.uniform_int(1, 40));
+    p.seed = static_cast<std::uint64_t>(rng.uniform_int(1, 1 << 30));
+
+    auto pessimistic = baseline::run_scenario(core::putline_scenario(p), false);
+    ASSERT_TRUE(pessimistic.all_completed) << "trial " << trial;
+
+    p.spec.state = StateStrategy::kDeepCopy;
+    auto deep = baseline::run_scenario(core::putline_scenario(p), true);
+    p.spec.state = StateStrategy::kCow;
+    auto cow = baseline::run_scenario(core::putline_scenario(p), true);
+    ASSERT_TRUE(deep.all_completed) << "trial " << trial;
+    ASSERT_TRUE(cow.all_completed) << "trial " << trial;
+
+    std::string why;
+    EXPECT_TRUE(trace::compare_traces(pessimistic.trace, deep.trace, &why))
+        << "trial " << trial << " (deep vs sequential): " << why;
+    EXPECT_TRUE(trace::compare_traces(deep.trace, cow.trace, &why))
+        << "trial " << trial << " (deep vs cow): " << why;
+    EXPECT_EQ(without_byte_counters(deep.stats),
+              without_byte_counters(cow.stats))
+        << "trial " << trial << ":\n  deep: " << deep.stats.to_string()
+        << "\n  cow:  " << cow.stats.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -73,6 +73,61 @@ TEST(Value, ToStringRendering) {
   EXPECT_EQ(Value(ValueList{Value(1), Value(2)}).to_string(), "[1, 2]");
 }
 
+TEST(Value, CopySharesPayloadStorage) {
+  const Value s("a long enough string to live on the heap");
+  const Value s2 = s;  // O(1): refcount bump, same payload object
+  EXPECT_TRUE(s.shares_storage_with(s2));
+  EXPECT_EQ(&s.as_string(), &s2.as_string());
+
+  const Value l(ValueList{Value(1), Value("x")});
+  const Value l2 = l;
+  EXPECT_TRUE(l.shares_storage_with(l2));
+  EXPECT_EQ(&l.as_list(), &l2.as_list());
+
+  // Inline scalars have no shared payload.
+  EXPECT_FALSE(Value(1).shares_storage_with(Value(1)));
+}
+
+TEST(Value, MutatingACopyNeverChangesTheOriginal) {
+  Value a("original");
+  Value b = a;
+  b = Value("rebound");  // the only mutation Values support is rebinding
+  EXPECT_EQ(a, Value("original"));
+  EXPECT_EQ(b, Value("rebound"));
+
+  Value la(ValueList{Value(1), Value(2)});
+  Value lb = la;
+  lb = value_add(Value(1), Value(1));
+  EXPECT_EQ(la, Value(ValueList{Value(1), Value(2)}));
+}
+
+TEST(Value, DeepCopySharesNothing) {
+  const Value l(ValueList{Value("payload"), Value(ValueList{Value("deep")})});
+  const Value c = l.deep_copy();
+  EXPECT_EQ(l, c);
+  EXPECT_FALSE(l.shares_storage_with(c));
+  EXPECT_FALSE(l.as_list()[0].shares_storage_with(c.as_list()[0]));
+  EXPECT_FALSE(l.as_list()[1].shares_storage_with(c.as_list()[1]));
+}
+
+TEST(Value, EqualityFastPathAndStructuralAgree) {
+  const Value a("same text");
+  const Value shared = a;                 // pointer-equal payload
+  const Value rebuilt("same text");       // distinct payload, equal content
+  EXPECT_EQ(a, shared);
+  EXPECT_EQ(a, rebuilt);
+  EXPECT_FALSE(a.shares_storage_with(rebuilt));
+}
+
+TEST(Value, ApproxBytesTracksPayload) {
+  EXPECT_EQ(Value().approx_bytes(), 0u);
+  EXPECT_EQ(Value(7).approx_bytes(), 0u);
+  const Value s(std::string(100, 'x'));
+  EXPECT_GE(s.approx_bytes(), 100u);
+  const Value l(ValueList{s, s});
+  EXPECT_GE(l.approx_bytes(), 2 * s.approx_bytes());
+}
+
 TEST(Env, SetGetHasErase) {
   Env env;
   EXPECT_FALSE(env.has("x"));
@@ -113,6 +168,46 @@ TEST(Env, EqualityAndNames) {
   b.set("y", Value(2));
   EXPECT_FALSE(a == b);
   EXPECT_EQ(b.names(), (std::set<std::string>{"x", "y"}));
+}
+
+TEST(Env, CopyIsStructurallyShared) {
+  Env a;
+  for (int i = 0; i < 32; ++i) {
+    a.set("k" + std::to_string(i), Value(std::string(50, 'v')));
+  }
+  Env b = a;  // checkpoint: O(1) handle copy
+  EXPECT_TRUE(a.shares_root_with(b));
+  EXPECT_EQ(a, b);
+
+  // One write path-copies O(log n) nodes; the rest stays shared and the
+  // untouched values still alias the same payloads.
+  b.set("k0", Value(99));
+  EXPECT_FALSE(a.shares_root_with(b));
+  EXPECT_EQ(a.get("k0"), Value(std::string(50, 'v')));
+  EXPECT_TRUE(a.get("k31").shares_storage_with(b.get("k31")));
+}
+
+TEST(Env, DeepCopySharesNothing) {
+  Env a;
+  a.set("s", Value("payload"));
+  a.set("l", Value(ValueList{Value("elem")}));
+  const Env b = a.deep_copy();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.shares_root_with(b));
+  EXPECT_FALSE(a.get("s").shares_storage_with(b.get("s")));
+  EXPECT_FALSE(a.get("l").shares_storage_with(b.get("l")));
+}
+
+TEST(Env, ApproxBytesGrowsWithState) {
+  Env env;
+  EXPECT_EQ(env.approx_bytes(), 0u);
+  env.set("a", Value(std::string(1000, 'x')));
+  const std::size_t one = env.approx_bytes();
+  EXPECT_GE(one, 1000u);
+  env.set("b", Value(std::string(1000, 'y')));
+  EXPECT_GT(env.approx_bytes(), one);
+  env.erase("b");
+  EXPECT_EQ(env.approx_bytes(), one);
 }
 
 }  // namespace
