@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <utility>
@@ -16,7 +17,10 @@
 
 #include "baseline/scenario.h"
 #include "core/workloads.h"
+#include "obs/attribution.h"
 #include "obs/metrics.h"
+#include "obs/prof_json.h"
+#include "obs/profile.h"
 #include "trace/timeline.h"
 #include "util/json.h"
 #include "util/logging.h"
@@ -82,7 +86,12 @@ class MetricsTrajectory {
     entries_.push_back(std::move(e));
   }
 
-  /// {"schema":"ocsp-bench-v1","binary":...,"benchmarks":[{name, virt_ms,
+  /// Document format version: bumped to 2 when histogram summaries gained
+  /// p99/p999 and this field itself was introduced (absent == version 1).
+  static constexpr int kSchemaVersion = 2;
+
+  /// {"schema":"ocsp-bench-v1","schema_version":2,"binary":...,
+  /// "benchmarks":[{name, virt_ms,
   /// metrics:{counters,gauges,accumulators,histograms}}]}.
   bool write(const char* binary) const {
     if (path_.empty()) return true;
@@ -90,6 +99,8 @@ class MetricsTrajectory {
     w.begin_object();
     w.key("schema");
     w.value("ocsp-bench-v1");
+    w.key("schema_version");
+    w.value(kSchemaVersion);
     w.key("binary");
     w.value(binary);
     w.key("benchmarks");
@@ -130,6 +141,79 @@ class MetricsTrajectory {
   std::vector<Entry> entries_;
 };
 
+/// Collector behind --ocsp_prof_out=<path>: every set_counters() call
+/// post-processes the run's event stream into a causal profile (time
+/// accounting, critical path, abort attribution) and the whole set is
+/// written as one ocsp-prof-v1 document on shutdown.
+class ProfileTrajectory {
+ public:
+  static ProfileTrajectory& instance() {
+    static ProfileTrajectory t;
+    return t;
+  }
+
+  void set_output(std::string path) { path_ = std::move(path); }
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return entries_.size(); }
+
+  void add(const std::string& label, const baseline::RunResult& result) {
+    if (path_.empty() || !result.recorder) return;
+    Entry e;
+    e.label = label;
+    e.profile = obs::build_profile(*result.recorder, result.process_names);
+    e.attribution =
+        obs::build_attribution(*result.recorder, result.process_names);
+    entries_.push_back(std::move(e));
+  }
+
+  /// {"schema":"ocsp-prof-v1","schema_version":...,"binary":...,
+  /// "runs":[{name, profile:<full per-run ocsp-prof-v1 object>}]}.
+  bool write(const char* binary) const {
+    if (path_.empty()) return true;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("schema");
+    w.value("ocsp-prof-v1");
+    w.key("schema_version");
+    w.value(obs::kProfSchemaVersion);
+    w.key("binary");
+    w.value(binary);
+    w.key("runs");
+    w.begin_array();
+    for (const auto& e : entries_) {
+      w.begin_object();
+      w.key("name");
+      w.value(e.label);
+      w.key("profile");
+      obs::write_prof_json(e.profile, e.attribution, w);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      OCSP_ELOG << "cannot write --ocsp_prof_out file " << path_;
+      return false;
+    }
+    const std::string text = w.str();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("ocsp: wrote causal profiles (%zu runs) to %s\n",
+                entries_.size(), path_.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string label;
+    obs::RunProfile profile;
+    obs::AttributionReport attribution;
+  };
+  std::string path_;
+  std::vector<Entry> entries_;
+};
+
 /// Smoke mode (--ocsp_smoke): reports shrink their parameter sweeps so CI
 /// can exercise every bench binary end-to-end in seconds.  The claims are
 /// still checked — only the swept range is reduced.
@@ -139,15 +223,21 @@ inline bool& smoke_mode() {
 }
 
 /// Strip the ocsp-specific flags from argv (google-benchmark would reject
-/// them): --ocsp_json_out=<path> arms the trajectory collector and
+/// them): --ocsp_json_out=<path> arms the metrics collector,
+/// --ocsp_prof_out=<path> arms the causal-profile collector and
 /// --ocsp_smoke enables smoke mode.
 inline void consume_json_out_flag(int* argc, char** argv) {
-  const std::string prefix = "--ocsp_json_out=";
+  const std::string json_prefix = "--ocsp_json_out=";
+  const std::string prof_prefix = "--ocsp_prof_out=";
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind(prefix, 0) == 0) {
-      MetricsTrajectory::instance().set_output(arg.substr(prefix.size()));
+    if (arg.rfind(json_prefix, 0) == 0) {
+      MetricsTrajectory::instance().set_output(
+          arg.substr(json_prefix.size()));
+    } else if (arg.rfind(prof_prefix, 0) == 0) {
+      ProfileTrajectory::instance().set_output(
+          arg.substr(prof_prefix.size()));
     } else if (arg == "--ocsp_smoke") {
       smoke_mode() = true;
     } else {
@@ -176,11 +266,16 @@ inline void set_counters(benchmark::State& state,
   state.counters["messages_redelivered"] =
       static_cast<double>(result.stats.messages_redelivered);
   auto& trajectory = MetricsTrajectory::instance();
-  if (!trajectory.path().empty()) {
+  auto& profiles = ProfileTrajectory::instance();
+  if (!trajectory.path().empty() || !profiles.path().empty()) {
     if (label.empty()) {
-      label = "run_" + std::to_string(trajectory.size());
+      label = "run_" + std::to_string(
+                           std::max(trajectory.size(), profiles.size()));
     }
-    trajectory.add(std::move(label), result);
+    profiles.add(label, result);
+    if (!trajectory.path().empty()) {
+      trajectory.add(std::move(label), result);
+    }
   }
 }
 
@@ -195,7 +290,8 @@ inline void print_header(const char* experiment, const char* claim) {
 
 /// Standard main: print the figure/report, then run google-benchmark;
 /// --ocsp_json_out=<path> additionally writes a machine-readable metrics
-/// snapshot of every benchmarked run.
+/// snapshot and --ocsp_prof_out=<path> a causal profile of every
+/// benchmarked run.
 #define OCSP_BENCH_MAIN(report_fn)                       \
   int main(int argc, char** argv) {                      \
     ocsp::bench::consume_json_out_flag(&argc, argv);     \
@@ -204,7 +300,9 @@ inline void print_header(const char* experiment, const char* claim) {
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     benchmark::RunSpecifiedBenchmarks();                 \
     benchmark::Shutdown();                               \
-    return ocsp::bench::MetricsTrajectory::instance().write(argv[0]) \
-               ? 0                                       \
-               : 1;                                      \
+    const bool wrote_metrics =                           \
+        ocsp::bench::MetricsTrajectory::instance().write(argv[0]); \
+    const bool wrote_profiles =                          \
+        ocsp::bench::ProfileTrajectory::instance().write(argv[0]); \
+    return wrote_metrics && wrote_profiles ? 0 : 1;      \
   }

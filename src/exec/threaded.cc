@@ -38,6 +38,25 @@ ProcessId ThreadedRuntime::find(const std::string& name) const {
   return it->second;
 }
 
+MsgId ThreadedRuntime::next_msg_id() {
+  std::scoped_lock lock(reqid_mutex_);
+  return next_msg_id_++;
+}
+
+std::int64_t ThreadedRuntime::elapsed_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - run_start_)
+      .count();
+}
+
+void ThreadedRuntime::record_obs(obs::Event e) {
+  const std::int64_t now = elapsed_ns();
+  e.when = static_cast<sim::Time>(now < 0 ? 0 : now);
+  e.wall_ns = now;
+  std::scoped_lock lock(recorder_mutex_);
+  recorder_.record(std::move(e));
+}
+
 void ThreadedRuntime::deliver_request(ProcessId dst, Request request) {
   Proc& p = *procs_.at(dst);
   {
@@ -47,12 +66,23 @@ void ThreadedRuntime::deliver_request(ProcessId dst, Request request) {
   p.cv.notify_all();
 }
 
-void ThreadedRuntime::deliver_reply(ProcessId dst, csp::Value value) {
+void ThreadedRuntime::deliver_reply(ProcessId src, ProcessId dst,
+                                    csp::Value value) {
+  const MsgId mid = next_msg_id();
+  {
+    obs::Event oe;
+    oe.kind = obs::EventKind::kMsgSent;
+    oe.process = src;
+    oe.peer = dst;
+    oe.msg_id = mid;
+    oe.detail = "return";
+    record_obs(std::move(oe));
+  }
   Proc& p = *procs_.at(dst);
   {
     std::scoped_lock lock(p.mutex);
     OCSP_CHECK_MSG(!p.reply.has_value(), "reply slot already full");
-    p.reply = std::move(value);
+    p.reply = std::make_pair(std::move(value), mid);
   }
   p.cv.notify_all();
 }
@@ -78,6 +108,7 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
           reqid = next_reqid_++;
         }
         const ProcessId dst = find(e.target);
+        const MsgId mid = next_msg_id();
         trace::ObservableEvent ev;
         ev.kind = trace::ObservableEvent::Kind::kSend;
         ev.process = id;
@@ -85,14 +116,33 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
         ev.op = e.op;
         ev.data = csp::Value(e.args);
         record(std::move(ev));
-        deliver_request(dst, Request{e.op, e.args, id, reqid, true});
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kMsgSent;
+          oe.process = id;
+          oe.peer = dst;
+          oe.msg_id = mid;
+          oe.detail = e.op;
+          record_obs(std::move(oe));
+        }
+        deliver_request(dst, Request{e.op, e.args, id, reqid, true, mid});
         // Wait for the reply.
         std::unique_lock lock(self.mutex);
         self.cv.wait(lock, stop, [&] { return self.reply.has_value(); });
         if (!self.reply.has_value()) return;  // stopped
-        csp::Value result = std::move(*self.reply);
+        csp::Value result = std::move(self.reply->first);
+        const MsgId reply_mid = self.reply->second;
         self.reply.reset();
         lock.unlock();
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kMsgDelivered;
+          oe.process = id;
+          oe.peer = dst;
+          oe.msg_id = reply_mid;
+          oe.detail = "return";
+          record_obs(std::move(oe));
+        }
         trace::ObservableEvent ret;
         ret.kind = trace::ObservableEvent::Kind::kCallReturn;
         ret.process = id;
@@ -104,6 +154,7 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
       }
       case K::kSend: {
         const ProcessId dst = find(e.target);
+        const MsgId mid = next_msg_id();
         trace::ObservableEvent ev;
         ev.kind = trace::ObservableEvent::Kind::kSend;
         ev.process = id;
@@ -111,7 +162,16 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
         ev.op = e.op;
         ev.data = csp::Value(e.args);
         record(std::move(ev));
-        deliver_request(dst, Request{e.op, e.args, id, -1, false});
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kMsgSent;
+          oe.process = id;
+          oe.peer = dst;
+          oe.msg_id = mid;
+          oe.detail = e.op;
+          record_obs(std::move(oe));
+        }
+        deliver_request(dst, Request{e.op, e.args, id, -1, false, mid});
         break;
       }
       case K::kReceive: {
@@ -121,6 +181,15 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
         Request req = std::move(self.mailbox.front());
         self.mailbox.pop_front();
         lock.unlock();
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kMsgDelivered;
+          oe.process = id;
+          oe.peer = req.caller;
+          oe.msg_id = req.msg_id;
+          oe.detail = req.op;
+          record_obs(std::move(oe));
+        }
         trace::ObservableEvent ev;
         ev.kind = trace::ObservableEvent::Kind::kReceive;
         ev.process = id;
@@ -134,7 +203,7 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
         break;
       }
       case K::kReply:
-        deliver_reply(static_cast<ProcessId>(e.reply_caller),
+        deliver_reply(id, static_cast<ProcessId>(e.reply_caller),
                       std::move(e.value));
         break;
       case K::kPrint: {
@@ -142,6 +211,13 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
         ev.kind = trace::ObservableEvent::Kind::kExternalOutput;
         ev.process = id;
         ev.data = std::move(e.value);
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kExternalReleased;
+          oe.process = id;
+          oe.detail = ev.data.to_string();
+          record_obs(std::move(oe));
+        }
         record(std::move(ev));
         break;
       }
@@ -152,6 +228,13 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
                                         options_.compute_scale)));
         } else {
           std::this_thread::yield();
+        }
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kComputeDone;
+          oe.process = id;
+          oe.a = e.duration;  // virtual ns; `when` carries the wall clock
+          record_obs(std::move(oe));
         }
         self.machine.resume();
         break;
@@ -165,6 +248,13 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
         right.rng() = self.machine.rng().split();
         self.machine.take_fork_branch(/*left=*/true);
         pending_rights.push_back(std::move(right));
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kFork;
+          oe.process = id;
+          oe.a = 0;  // sequential (left-then-right) execution of the fork
+          record_obs(std::move(oe));
+        }
         break;
       }
       case K::kDone: {
@@ -173,7 +263,19 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
           pending_rights.pop_back();
           right.env() = self.machine.env();
           self.machine = std::move(right);
+          {
+            obs::Event oe;
+            oe.kind = obs::EventKind::kJoin;
+            oe.process = id;
+            record_obs(std::move(oe));
+          }
           break;
+        }
+        {
+          obs::Event oe;
+          oe.kind = obs::EventKind::kProcessCompleted;
+          oe.process = id;
+          record_obs(std::move(oe));
         }
         std::scoped_lock lock(self.mutex);
         self.completed = true;
@@ -184,6 +286,10 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
 }
 
 bool ThreadedRuntime::run(std::chrono::milliseconds timeout) {
+  run_start_ = std::chrono::steady_clock::now();
+  // Mark the stream dual-clock; record_obs pre-stamps wall_ns, so the
+  // recorder's own callback never fires, but dual_clock() now reports true.
+  recorder_.set_wall_clock([this] { return elapsed_ns(); });
   std::vector<std::jthread> threads;
   threads.reserve(procs_.size());
   for (std::size_t i = 0; i < procs_.size(); ++i) {

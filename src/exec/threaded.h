@@ -17,6 +17,7 @@
 // without exercising any additional protocol path.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -26,9 +27,11 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "csp/machine.h"
+#include "obs/recorder.h"
 #include "trace/events.h"
 #include "util/ids.h"
 #include "util/rng.h"
@@ -68,6 +71,12 @@ class ThreadedRuntime {
   /// True if the process's program ran to completion.
   bool completed(ProcessId id) const;
 
+  /// Structured event stream of the last run().  Every event carries both
+  /// clocks (`when == wall_ns`, nanoseconds since run start), so the same
+  /// obs::profile machinery that post-processes simulator runs applies to
+  /// real-thread executions.
+  const obs::RunRecorder& recorder() const { return recorder_; }
+
  private:
   struct Request {
     std::string op;
@@ -75,6 +84,7 @@ class ThreadedRuntime {
     ProcessId caller = kNoProcess;
     std::int64_t reqid = -1;
     bool is_call = false;
+    MsgId msg_id = 0;
   };
 
   struct Proc {
@@ -86,14 +96,21 @@ class ThreadedRuntime {
     std::mutex mutex;
     std::condition_variable_any cv;
     std::deque<Request> mailbox;
-    std::optional<csp::Value> reply;  ///< reply slot for the outstanding call
+    /// Reply slot for the outstanding call: value plus the reply message's
+    /// id, so the caller can record the kMsgDelivered end of the edge.
+    std::optional<std::pair<csp::Value, MsgId>> reply;
 
     std::vector<trace::ObservableEvent> events;
   };
 
   void run_process(std::stop_token stop, ProcessId id);
   void deliver_request(ProcessId dst, Request request);
-  void deliver_reply(ProcessId dst, csp::Value value);
+  void deliver_reply(ProcessId src, ProcessId dst, csp::Value value);
+  MsgId next_msg_id();
+  std::int64_t elapsed_ns() const;
+  /// Stamp both clocks and append under the recorder mutex (many process
+  /// threads record concurrently).
+  void record_obs(obs::Event e);
 
   ThreadedOptions options_;
   util::Rng rng_;
@@ -101,6 +118,11 @@ class ThreadedRuntime {
   std::map<std::string, ProcessId> names_;
   std::int64_t next_reqid_ = 1;
   std::mutex reqid_mutex_;
+
+  obs::RunRecorder recorder_;
+  std::mutex recorder_mutex_;
+  MsgId next_msg_id_ = 1;
+  std::chrono::steady_clock::time_point run_start_{};
 };
 
 }  // namespace ocsp::exec

@@ -1,0 +1,85 @@
+// Causal profiler, part 2: abort attribution and per-site scorecards.
+//
+// build_attribution() walks the recorded abort cascade backwards: every
+// kAbort event either is a root (a value fault, time fault, or timeout at
+// the guessing site itself) or carries a `guess_from` edge naming the
+// already-aborted guess that collateral-damaged it.  Following those edges
+// to a fixpoint attributes every cascade abort — and every nanosecond of
+// kWorkDiscarded compute — to the originating mis-guess's fork site.
+//
+// The result is one scorecard per (process, fork site): how often it
+// guessed, how often the guess verified, how many downstream aborts its
+// mis-guesses caused, how much virtual time those cost, and how much
+// compute its successful speculation overlapped with S1 — a per-site
+// profit/loss statement.  SAFE-elided sites appear with their own column
+// (forks that paid zero speculation cost) so guard elision shows up as
+// profit, not as a blind spot.
+//
+// Reconciliation is exact by construction: root_abort_events +
+// cascade_abort_events == RunRecorder::count(kAbort), which obs_test ties
+// to SpecStats (total_aborts() + aborts_cascade).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.h"
+#include "util/ids.h"
+
+namespace ocsp::obs {
+
+struct SiteScorecard {
+  ProcessId process = kNoProcess;
+  std::string name;  ///< process display name
+  std::string site;  ///< fork-site label ("(anonymous)" when unlabeled)
+
+  std::uint64_t forks = 0;        ///< all kFork events at this site
+  std::uint64_t speculative = 0;  ///< guesses made
+  std::uint64_t safe_elided = 0;  ///< SAFE fast-path forks (zero cost)
+  std::uint64_t sequential = 0;   ///< pessimistic executions
+
+  std::uint64_t hits = 0;    ///< kGuessVerified
+  std::uint64_t misses = 0;  ///< kGuessFailed
+  std::uint64_t commits = 0;
+
+  /// Root aborts originating here (value/time fault, timeout).
+  std::uint64_t aborts_root = 0;
+  /// Cascade aborts whose root cause traces back to this site.
+  std::uint64_t aborts_caused = 0;
+  /// Discarded compute (ns) attributed to this site's mis-guesses,
+  /// anywhere downstream.
+  std::int64_t wasted_downstream_ns = 0;
+  /// Overlap (ns) the fork bought.  For speculative forks: compute the
+  /// right thread completed before the guess committed (elapsed time would
+  /// count the verification wait, which is overhead).  For SAFE forks,
+  /// which never verify and never abort, the full fork->join elapsed span
+  /// counts — a fanned-out call overlaps channel waits, not compute.
+  std::int64_t saved_ns = 0;
+  /// Checkpoint bytes SAFE elision never materialized.
+  std::uint64_t elided_bytes = 0;
+
+  std::int64_t net_ns() const { return saved_ns - wasted_downstream_ns; }
+};
+
+struct AttributionReport {
+  std::uint64_t abort_events = 0;          ///< == count(kAbort)
+  std::uint64_t root_abort_events = 0;     ///< reason != kCascade
+  std::uint64_t cascade_abort_events = 0;  ///< reason == kCascade
+  /// Cascade events whose root could not be resolved to a sited guess.
+  std::uint64_t unattributed_cascades = 0;
+  /// Root events whose guess has no known fork site.
+  std::uint64_t unattributed_roots = 0;
+  std::int64_t wasted_total_ns = 0;
+  std::int64_t unattributed_wasted_ns = 0;
+  /// Sorted by net profit, best first.
+  std::vector<SiteScorecard> sites;
+};
+
+AttributionReport build_attribution(
+    const RunRecorder& recorder,
+    const std::vector<std::string>& process_names);
+
+std::string attribution_table(const AttributionReport& report);
+
+}  // namespace ocsp::obs

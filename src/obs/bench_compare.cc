@@ -1,0 +1,191 @@
+#include "obs/bench_compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace ocsp::obs {
+
+namespace {
+
+struct Ctx {
+  const BenchDiffOptions* options;
+  BenchDiffResult* result;
+
+  /// Explicit per-metric override, or a negative sentinel.
+  double override_for(const std::string& path,
+                      const std::string& leaf) const {
+    auto it = options->metric_rel_tol.find(path);
+    if (it != options->metric_rel_tol.end()) return it->second;
+    it = options->metric_rel_tol.find(leaf);
+    if (it != options->metric_rel_tol.end()) return it->second;
+    return -1.0;
+  }
+
+  void mismatch(const std::string& where, const std::string& what) {
+    result->mismatches.push_back(where + ": " + what);
+  }
+
+  /// Integers compare exactly (the simulated protocol is deterministic)
+  /// unless a per-metric tolerance was given; floats compare relatively.
+  void compare_number(const std::string& where, const std::string& leaf,
+                      double base, double got, bool integral) {
+    const double override_tol = override_for(where, leaf);
+    bool equal;
+    if (base == got) {
+      equal = true;
+    } else if (integral && override_tol < 0) {
+      equal = false;
+    } else {
+      const double tol =
+          override_tol >= 0 ? override_tol : options->float_rel_tol;
+      const double scale = std::max(std::abs(base), std::abs(got));
+      equal = std::abs(base - got) <= tol * std::max(scale, 1e-12);
+    }
+    if (!equal) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf), "baseline %.17g, got %.17g", base,
+                    got);
+      mismatch(where, buf);
+    }
+  }
+};
+
+bool looks_integral(double v) {
+  return v == std::floor(v) && std::abs(v) < 9.0e15;
+}
+
+/// Structural comparison of two JSON values under `path`.  Numbers compare
+/// with the metric tolerance machinery; everything else compares exactly.
+void compare_value(Ctx& ctx, const std::string& path,
+                   const std::string& leaf, const util::JsonValue& base,
+                   const util::JsonValue& got) {
+  using T = util::JsonValue::Type;
+  if (base.type != got.type) {
+    ctx.mismatch(path, "type changed");
+    return;
+  }
+  switch (base.type) {
+    case T::kNull:
+      break;
+    case T::kBool:
+      if (base.boolean != got.boolean) ctx.mismatch(path, "bool changed");
+      break;
+    case T::kNumber:
+      ctx.compare_number(path, leaf, base.number, got.number,
+                         looks_integral(base.number) &&
+                             looks_integral(got.number));
+      break;
+    case T::kString:
+      if (base.string != got.string) {
+        ctx.mismatch(path, "\"" + base.string + "\" -> \"" + got.string +
+                               "\"");
+      }
+      break;
+    case T::kArray: {
+      if (base.array.size() != got.array.size()) {
+        ctx.mismatch(path, "array length " +
+                               std::to_string(base.array.size()) + " -> " +
+                               std::to_string(got.array.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < base.array.size(); ++i) {
+        compare_value(ctx, path + "[" + std::to_string(i) + "]", leaf,
+                      base.array[i], got.array[i]);
+      }
+      break;
+    }
+    case T::kObject: {
+      for (const auto& [k, bv] : base.object) {
+        const util::JsonValue* gv = got.find(k);
+        if (gv == nullptr) {
+          ctx.mismatch(path + "/" + k, "missing in fresh run");
+          continue;
+        }
+        compare_value(ctx, path + "/" + k, k, bv, *gv);
+      }
+      for (const auto& [k, gv] : got.object) {
+        if (base.find(k) == nullptr) {
+          ctx.mismatch(path + "/" + k, "new metric not in baseline");
+        }
+      }
+      break;
+    }
+  }
+}
+
+/// First entry per benchmark name; google-benchmark emits one entry per
+/// timing iteration and the iteration count is nondeterministic, while the
+/// simulated run behind every same-name entry is identical.
+std::map<std::string, const util::JsonValue*> dedupe(
+    const util::JsonValue& doc, Ctx& ctx, const char* label) {
+  std::map<std::string, const util::JsonValue*> out;
+  const util::JsonValue* benchmarks = doc.find("benchmarks");
+  if (benchmarks == nullptr || !benchmarks->is_array()) {
+    ctx.mismatch(label, "no benchmarks array");
+    return out;
+  }
+  std::size_t dropped = 0;
+  for (const auto& entry : benchmarks->array) {
+    const util::JsonValue* name = entry.find("name");
+    if (name == nullptr || !name->is_string()) {
+      ctx.mismatch(label, "benchmark entry without name");
+      continue;
+    }
+    if (!out.emplace(name->string, &entry).second) ++dropped;
+  }
+  if (dropped > 0) {
+    ctx.result->notes.push_back(std::string(label) + ": deduplicated " +
+                                std::to_string(dropped) +
+                                " repeated entries");
+  }
+  return out;
+}
+
+}  // namespace
+
+BenchDiffResult diff_bench_json(const util::JsonValue& baseline,
+                                const util::JsonValue& fresh,
+                                const BenchDiffOptions& options) {
+  BenchDiffResult result;
+  Ctx ctx{&options, &result};
+
+  for (const auto* doc : {&baseline, &fresh}) {
+    const util::JsonValue* schema = doc->find("schema");
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string != "ocsp-bench-v1") {
+      ctx.mismatch(doc == &baseline ? "baseline" : "fresh",
+                   "not an ocsp-bench-v1 document");
+    }
+  }
+  if (!result.ok()) return result;
+
+  const util::JsonValue* bv = baseline.find("schema_version");
+  const util::JsonValue* fv = fresh.find("schema_version");
+  const double bver = bv != nullptr && bv->is_number() ? bv->number : 1;
+  const double fver = fv != nullptr && fv->is_number() ? fv->number : 1;
+  if (bver != fver) {
+    ctx.mismatch("schema_version", "baseline " + std::to_string(bver) +
+                                       ", fresh " + std::to_string(fver));
+    return result;
+  }
+
+  auto base_entries = dedupe(baseline, ctx, "baseline");
+  auto fresh_entries = dedupe(fresh, ctx, "fresh");
+  for (const auto& [name, entry] : base_entries) {
+    auto it = fresh_entries.find(name);
+    if (it == fresh_entries.end()) {
+      ctx.mismatch(name, "benchmark missing from fresh run");
+      continue;
+    }
+    compare_value(ctx, name, "", *entry, *it->second);
+  }
+  for (const auto& [name, entry] : fresh_entries) {
+    if (base_entries.find(name) == base_entries.end()) {
+      ctx.mismatch(name, "benchmark not in baseline");
+    }
+  }
+  return result;
+}
+
+}  // namespace ocsp::obs

@@ -1,0 +1,48 @@
+// Bench regression gate: compare two ocsp-bench-v1 documents.
+//
+// The committed BENCH_*.json baselines pin the protocol's *virtual-time*
+// behaviour (counters, completion times, histogram shapes), which is fully
+// deterministic — so the default comparison is exact for integers and
+// near-exact (1e-9 relative) for floats.  google-benchmark repeats entries
+// under the same name a nondeterministic number of times, so entries are
+// deduplicated by name before comparing; wall-clock fields never enter the
+// documents in the first place.
+//
+// Per-metric tolerance bands (--tol name=rel on the CLI) loosen individual
+// metrics when a workload is intentionally noisy, without giving up the
+// exact default for everything else.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace ocsp::obs {
+
+struct BenchDiffOptions {
+  /// Relative tolerance for floating-point metrics with no override.
+  double float_rel_tol = 1e-9;
+  /// Per-metric relative tolerance overrides.  Keys match either the full
+  /// metric path ("counters/net_bytes_sent") or the bare leaf name
+  /// ("net_bytes_sent", "virt_ms").
+  std::map<std::string, double> metric_rel_tol;
+};
+
+struct BenchDiffResult {
+  /// One line per regressed/changed metric; empty means the gate passes.
+  std::vector<std::string> mismatches;
+  /// Informational notes (deduplicated entries, ignored fields).
+  std::vector<std::string> notes;
+  bool ok() const { return mismatches.empty(); }
+};
+
+/// Compare `fresh` against `baseline`.  Both must be parsed ocsp-bench-v1
+/// documents; a malformed document produces a mismatch entry rather than a
+/// crash.  The "binary" field is ignored (paths differ across checkouts).
+BenchDiffResult diff_bench_json(const util::JsonValue& baseline,
+                                const util::JsonValue& fresh,
+                                const BenchDiffOptions& options = {});
+
+}  // namespace ocsp::obs

@@ -51,6 +51,18 @@ const char* to_string(EventKind k) {
       return "msg-delivered";
     case EventKind::kCheckpointTaken:
       return "checkpoint";
+    case EventKind::kComputeDone:
+      return "compute-done";
+    case EventKind::kWorkDiscarded:
+      return "work-discarded";
+    case EventKind::kSafeForkElided:
+      return "safe-fork-elided";
+    case EventKind::kThreadBlocked:
+      return "thread-blocked";
+    case EventKind::kThreadResolved:
+      return "thread-resolved";
+    case EventKind::kProcessCompleted:
+      return "process-completed";
   }
   return "?";
 }

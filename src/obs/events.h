@@ -41,8 +41,19 @@ enum class EventKind : std::uint8_t {
   kMsgDelivered,       ///< network delivered a message
   kCheckpointTaken,    ///< state snapshot stored; a = bytes materialized,
                        ///< b = bytes structurally shared (COW)
+  kComputeDone,        ///< a Compute statement finished; a = duration (ns)
+  kWorkDiscarded,      ///< an abort/rollback threw away prior compute;
+                       ///< a = discarded ns, guess = killed thread's own
+                       ///< guess, guess_from = the aborted guess that
+                       ///< triggered the kill
+  kSafeForkElided,     ///< SAFE fast-path fork: guess/guard/checkpoint
+                       ///< machinery skipped; a = state bytes not snapshotted
+  kThreadBlocked,      ///< program body finished but the guard is non-empty
+                       ///< (phase kDoneWaitGuard)
+  kThreadResolved,     ///< a kThreadBlocked thread's guard emptied
+  kProcessCompleted,   ///< the process ran to completion
 };
-inline constexpr std::size_t kEventKindCount = 19;
+inline constexpr std::size_t kEventKindCount = 25;
 
 enum class AbortReason : std::uint8_t {
   kNone,
@@ -70,6 +81,10 @@ struct GuessRef {
 struct Event {
   EventKind kind = EventKind::kIntervalBegin;
   sim::Time when = 0;
+  /// Optional wall-clock timestamp (ns since the run started); -1 when the
+  /// run is purely virtual.  Real executors (exec::ThreadedRuntime) stamp
+  /// it so the same profiler answers simulator and hardware runs.
+  std::int64_t wall_ns = -1;
   ProcessId process = kNoProcess;  ///< recording process
   ProcessId peer = kNoProcess;     ///< other endpoint (messages)
   std::uint32_t thread = 0;        ///< thread index within `process`

@@ -72,6 +72,9 @@ void MetricsRegistry::write_json(util::JsonWriter& w) const {
     w.key("lo").value(h.lo());
     w.key("hi").value(h.hi());
     w.key("total").value(h.total());
+    w.key("p50").value(h.p50());
+    w.key("p99").value(h.p99());
+    w.key("p999").value(h.p999());
     w.key("buckets").begin_array();
     for (std::size_t i = 0; i < h.bucket_count(); ++i) {
       w.value(h.bucket(i));

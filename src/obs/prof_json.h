@@ -1,0 +1,27 @@
+// ocsp-prof-v1: the machine-readable form of the causal profile.
+//
+// One document per profiled run: the time-accounting partition (global and
+// per process), the critical path, and the abort-attribution scorecards.
+// Schema changes bump kProfSchemaVersion; consumers (bench_diff, CI's JSON
+// check) key on {"schema": "ocsp-prof-v1", "schema_version": N}.
+#pragma once
+
+#include <string>
+
+#include "obs/attribution.h"
+#include "obs/profile.h"
+#include "util/json.h"
+
+namespace ocsp::obs {
+
+inline constexpr int kProfSchemaVersion = 1;
+
+/// Write one profile object (schema envelope included) to `w`.
+void write_prof_json(const RunProfile& profile,
+                     const AttributionReport& attribution,
+                     util::JsonWriter& w);
+
+std::string prof_json(const RunProfile& profile,
+                      const AttributionReport& attribution);
+
+}  // namespace ocsp::obs

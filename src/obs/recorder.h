@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstddef>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "obs/events.h"
@@ -21,8 +23,18 @@ class RunRecorder {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Install a wall-clock source (ns since run start).  When set, every
+  /// recorded event without an explicit wall_ns gets stamped — the
+  /// dual-clock mode real executors use.  Virtual-only runs leave it unset
+  /// and events keep wall_ns == -1.
+  void set_wall_clock(std::function<std::int64_t()> clock) {
+    wall_clock_ = std::move(clock);
+  }
+  bool dual_clock() const { return static_cast<bool>(wall_clock_); }
+
   void record(Event e) {
     if (!enabled_) return;
+    if (wall_clock_ && e.wall_ns < 0) e.wall_ns = wall_clock_();
     ++counts_[static_cast<std::size_t>(e.kind)];
     if (e.kind == EventKind::kAbort) {
       ++abort_counts_[static_cast<std::size_t>(e.reason)];
@@ -46,6 +58,7 @@ class RunRecorder {
 
  private:
   bool enabled_ = true;
+  std::function<std::int64_t()> wall_clock_;
   std::vector<Event> events_;
   std::array<std::size_t, kEventKindCount> counts_{};
   std::array<std::size_t, kAbortReasonCount> abort_counts_{};

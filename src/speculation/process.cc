@@ -71,12 +71,14 @@ obs::Event SpeculativeProcess::make_event(obs::EventKind kind) const {
 
 void SpeculativeProcess::record_abort(const GuessId& g,
                                       obs::AbortReason reason,
-                                      const char* detail) {
+                                      const char* detail,
+                                      const GuessId& cause) {
   obs::Event ev = make_event(obs::EventKind::kAbort);
   ev.guess = guess_ref(g);
   ev.thread = g.index;
   ev.reason = reason;
   ev.detail = detail;
+  if (cause.valid() && !(cause == g)) ev.guess_from = guess_ref(cause);
   recorder().record(std::move(ev));
   // Soundness oracle: a SAFE-classified site must never raise a value or
   // time fault (timeouts and cascades are liveness/collateral, not
@@ -89,6 +91,22 @@ void SpeculativeProcess::record_abort(const GuessId& g,
     OCSP_CHECK_MSG(false, "SAFE-classified fork site raised a fault");
 #endif
   }
+}
+
+void SpeculativeProcess::record_work_discarded(const ThreadCtx& t,
+                                               sim::Time discarded_ns,
+                                               const GuessId& cause) {
+  if (discarded_ns <= 0) return;
+  obs::Event ev = make_event(obs::EventKind::kWorkDiscarded);
+  ev.thread = t.index;
+  ev.interval = t.interval;
+  ev.a = static_cast<std::uint64_t>(discarded_ns);
+  if (t.has_own_guess) {
+    ev.guess = guess_ref(t.own_guess);
+    ev.detail = t.own_site;
+  }
+  if (cause.valid()) ev.guess_from = guess_ref(cause);
+  recorder().record(std::move(ev));
 }
 
 obs::MetricsRegistry SpeculativeProcess::metrics_view() const {
@@ -237,12 +255,23 @@ bool SpeculativeProcess::handle_effect(ThreadCtx& t, csp::Effect effect) {
     case K::kCompute: {
       t.phase = ThreadCtx::Phase::kAwaitCompute;
       const std::uint32_t idx = t.index;
+      const sim::Time duration = effect.duration;
       compute_timers_[idx] =
-          runtime_.scheduler().after(effect.duration, [this, idx]() {
+          runtime_.scheduler().after(duration, [this, idx, duration]() {
             auto it = threads_.find(idx);
             if (it == threads_.end()) return;
             ThreadCtx& th = it->second;
             if (th.phase != ThreadCtx::Phase::kAwaitCompute) return;
+            th.compute_ns += duration;
+            obs::Event ev = make_event(obs::EventKind::kComputeDone);
+            ev.thread = idx;
+            ev.interval = th.interval;
+            ev.a = static_cast<std::uint64_t>(duration);
+            if (th.has_own_guess) {
+              ev.guess = guess_ref(th.own_guess);
+              ev.detail = th.own_site;
+            }
+            recorder().record(std::move(ev));
             th.machine.resume();
             th.phase = ThreadCtx::Phase::kRunning;
             schedule_step(idx);
@@ -258,6 +287,11 @@ bool SpeculativeProcess::handle_effect(ThreadCtx& t, csp::Effect effect) {
         do_join(t);
       } else {
         t.phase = ThreadCtx::Phase::kDoneWaitGuard;
+        obs::Event ev = make_event(obs::EventKind::kThreadBlocked);
+        ev.thread = t.index;
+        ev.interval = t.interval;
+        ev.a = t.guard.size();
+        recorder().record(std::move(ev));
         after_guard_change();
       }
       return false;
@@ -381,6 +415,10 @@ void SpeculativeProcess::check_completion() {
     if (t.phase == ThreadCtx::Phase::kDoneWaitGuard && t.guard.empty()) {
       t.phase = ThreadCtx::Phase::kTerminated;
       program_finished_ = true;
+      obs::Event ev = make_event(obs::EventKind::kThreadResolved);
+      ev.thread = t.index;
+      ev.interval = t.interval;
+      recorder().record(std::move(ev));
     }
   }
   if (!program_finished_) return;
@@ -393,6 +431,7 @@ void SpeculativeProcess::check_completion() {
   }
   completed_ = true;
   completion_time_ = runtime_.scheduler().now();
+  recorder().record(make_event(obs::EventKind::kProcessCompleted));
   timeline().note(completion_time_, id_, "process completed");
 }
 

@@ -114,6 +114,14 @@ struct ThreadCtx {
   /// strategy's periodic-checkpoint counter).
   std::uint32_t accepts_since_checkpoint = 0;
 
+  /// Virtual nanoseconds of Compute this thread has burned.  Checkpointed
+  /// with the thread (a restore rolls it back), replayed replays re-add the
+  /// replayed durations — so kill-time `compute_ns` minus restored
+  /// `compute_ns` is exactly the compute an abort threw away, which the
+  /// profiler's time accounting and per-site scorecards consume via
+  /// kWorkDiscarded events.
+  sim::Time compute_ns = 0;
+
   /// Where (in the parent) this thread was created; used to decide which
   /// threads a rollback kills.
   StateIndex created_at;
@@ -221,7 +229,11 @@ class SpeculativeProcess {
   // ---- rollback (4.1.3) ---------------------------------------------------
   void take_checkpoint(const ThreadCtx& t);
   void rollback_to(const StateIndex& target, bool kill_target_thread);
-  void kill_thread(std::uint32_t index, std::vector<GuessId>& own_aborted);
+  /// `emit_discard` is false only for a rollback target that is about to be
+  /// restored: its discarded compute is the kill-time total minus whatever
+  /// the restored checkpoint retains, emitted by rollback_to afterwards.
+  void kill_thread(std::uint32_t index, std::vector<GuessId>& own_aborted,
+                   bool emit_discard = true);
   void restore_thread(const StateIndex& target);
   /// Replay strategy: reconstruct the thread state at `target` from the
   /// nearest earlier full checkpoint plus the logged inputs.
@@ -262,8 +274,14 @@ class SpeculativeProcess {
   static obs::GuessRef guess_ref(const GuessId& g);
   static obs::ControlType obs_control(ControlKind kind);
   /// Record the kAbort event adjacent to the ++stats_.aborts_* increment.
+  /// `cause` (when valid) names the aborted guess that triggered this one —
+  /// the cascade edge abort attribution walks back to the original
+  /// mis-guess; root aborts (value/time fault, timeout) leave it invalid.
   void record_abort(const GuessId& g, obs::AbortReason reason,
-                    const char* detail);
+                    const char* detail, const GuessId& cause = GuessId{});
+  /// Record the compute a killed/rolled-back thread loses.
+  void record_work_discarded(const ThreadCtx& t, sim::Time discarded_ns,
+                             const GuessId& cause);
 
   Runtime& runtime_;
   ProcessId id_;
@@ -319,6 +337,11 @@ class SpeculativeProcess {
   };
   std::map<StateIndex, ReplayMeta> replay_meta_;
   bool replaying_ = false;
+
+  /// The aborted guess whose processing is currently driving rollbacks;
+  /// threaded into kWorkDiscarded / cascade kAbort events so attribution
+  /// can trace collateral damage back to the originating mis-guess.
+  GuessId rollback_cause_{};
 
   /// Fork/join-wait timers keyed by guess (not checkpointed; re-armed).
   std::map<GuessId, sim::Scheduler::Handle> fork_timers_;

@@ -116,6 +116,10 @@ void SpeculativeProcess::on_abort_msg(const GuessId& g) {
 }
 
 void SpeculativeProcess::abort_guess_local(const GuessId& g) {
+  // Everything the abort-processing loop below destroys is collateral
+  // damage of `g`; stamp the cause so attribution can walk it back.
+  const GuessId saved_cause = rollback_cause_;
+  rollback_cause_ = g;
   history_.peer(g.owner).set_status(g, GuessStatus::kAborted);
   // The abort of x_{i,n} starts incarnation i+1 at index n: every guess
   // x_{i,m} with m >= n is implicitly aborted (4.1.2).
@@ -170,6 +174,7 @@ void SpeculativeProcess::abort_guess_local(const GuessId& g) {
   }
   // Scrub CDG nodes of the aborted guess from untouched threads.
   for (auto& [idx, t] : threads_) t.cdg.remove_node(g);
+  rollback_cause_ = saved_cause;
 }
 
 void SpeculativeProcess::abort_own_guess(const GuessId& g,
@@ -192,6 +197,8 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
   if (auto site = site_of(g.index); !site.empty()) ++site_aborts_[site];
 
   // Kill the guarded thread and everything the chain forked after it.
+  const GuessId saved_cause = rollback_cause_;
+  rollback_cause_ = g;
   std::vector<GuessId> cascade;
   std::vector<std::uint32_t> doomed;
   for (auto& [idx, t] : threads_) {
@@ -200,6 +207,7 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
   for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
     kill_thread(*it, cascade);
   }
+  rollback_cause_ = saved_cause;
   if (!doomed.empty()) {
     ++incarnation_;
     max_thread_ = g.index == 0 ? 0 : g.index - 1;
@@ -213,7 +221,7 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
       history_.peer(id_).observe_incarnation(c.incarnation + 1, c.index);
       ++stats_.aborts_cascade;
       ++cascaded;
-      record_abort(c, obs::AbortReason::kCascade, "killed-with-thread");
+      record_abort(c, obs::AbortReason::kCascade, "killed-with-thread", g);
       distribute_control(ControlKind::kAbort, c, {});
     }
   }
@@ -244,10 +252,21 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
 }
 
 void SpeculativeProcess::kill_thread(std::uint32_t index,
-                                     std::vector<GuessId>& own_aborted) {
+                                     std::vector<GuessId>& own_aborted,
+                                     bool emit_discard) {
   auto it = threads_.find(index);
   if (it == threads_.end()) return;
   ThreadCtx& t = it->second;
+  if (emit_discard) {
+    record_work_discarded(t, t.compute_ns, rollback_cause_);
+  }
+  if (t.phase == ThreadCtx::Phase::kDoneWaitGuard) {
+    obs::Event ev = make_event(obs::EventKind::kThreadResolved);
+    ev.thread = t.index;
+    ev.interval = t.interval;
+    ev.detail = "killed";
+    recorder().record(std::move(ev));
+  }
   if (t.has_own_guess) own_aborted.push_back(t.own_guess);
   if (t.has_pending_join && t.join_guess.valid()) {
     own_aborted.push_back(t.join_guess);
@@ -318,14 +337,42 @@ void SpeculativeProcess::rollback_to(const StateIndex& target,
        it != replay_meta_.end();) {
     it = abandoned(it->first) ? replay_meta_.erase(it) : std::next(it);
   }
+  // The rollback target is restored from a checkpoint, not killed outright:
+  // its discarded compute is whatever it accumulated beyond what the
+  // restored checkpoint retains, so defer the accounting until after the
+  // restore.  (If the target is killed too, or the checkpoint turns out to
+  // be a zombie and gets dropped, the retained amount is simply zero.)
+  sim::Time target_pre_compute = 0;
+  ThreadCtx target_snapshot{};
+  bool have_target = false;
+  if (auto tgt = threads_.find(target.thread); tgt != threads_.end()) {
+    target_pre_compute = tgt->second.compute_ns;
+    target_snapshot.index = tgt->second.index;
+    target_snapshot.interval = tgt->second.interval;
+    target_snapshot.has_own_guess = tgt->second.has_own_guess;
+    target_snapshot.own_guess = tgt->second.own_guess;
+    target_snapshot.own_site = tgt->second.own_site;
+    have_target = true;
+  }
   std::vector<GuessId> cascade;
   for (auto it = doomed.rbegin(); it != doomed.rend(); ++it) {
-    kill_thread(*it, cascade);
+    const bool is_target = *it == target.thread && !kill_target_thread;
+    kill_thread(*it, cascade, /*emit_discard=*/!is_target);
   }
   if (!doomed.empty()) ++incarnation_;
 
   if (!kill_target_thread) {
     restore_thread(target);
+    if (have_target) {
+      sim::Time retained = 0;
+      if (auto tgt = threads_.find(target.thread); tgt != threads_.end()) {
+        retained = tgt->second.compute_ns;
+      }
+      if (target_pre_compute > retained) {
+        record_work_discarded(target_snapshot, target_pre_compute - retained,
+                              rollback_cause_);
+      }
+    }
   }
   max_thread_ = threads_.empty() ? 0 : threads_.rbegin()->first;
 
@@ -337,7 +384,8 @@ void SpeculativeProcess::rollback_to(const StateIndex& target,
       history_.peer(id_).observe_incarnation(c.incarnation + 1, c.index);
       ++stats_.aborts_cascade;
       ++cascaded;
-      record_abort(c, obs::AbortReason::kCascade, "killed-by-rollback");
+      record_abort(c, obs::AbortReason::kCascade, "killed-by-rollback",
+                   rollback_cause_);
       distribute_control(ControlKind::kAbort, c, {});
     }
   }
@@ -481,7 +529,10 @@ void SpeculativeProcess::replay_until_blocked(ThreadCtx& t) {
       }
       case K::kCompute:
         // State reconstruction is instantaneous; the original already paid
-        // the virtual time.
+        // the virtual time.  The replayed durations re-enter compute_ns so
+        // the rebuilt thread accounts for the same useful work the original
+        // had done by the target point (see ThreadCtx::compute_ns).
+        t.compute_ns += e.duration;
         t.machine.resume();
         break;
       case K::kReceive:
@@ -590,7 +641,7 @@ void SpeculativeProcess::restore_thread(const StateIndex& target) {
           restored.join_guess.incarnation + 1, restored.join_guess.index);
       ++stats_.aborts_cascade;
       record_abort(restored.join_guess, obs::AbortReason::kCascade,
-                   "zombie-checkpoint");
+                   "zombie-checkpoint", rollback_cause_);
       distribute_control(ControlKind::kAbort, restored.join_guess, {});
     }
     return;

@@ -92,12 +92,23 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
       obs::Event fe = make_event(obs::EventKind::kFork);
       fe.thread = t.index;
       fe.interval = t.interval;
+      fe.a = 2;  // SAFE fast path
       fe.detail = f.site;
       recorder().record(std::move(fe));
       obs::Event ie = make_event(obs::EventKind::kIntervalBegin);
       ie.thread = new_index;
+      ie.a = 2;
       ie.detail = f.site;
       recorder().record(std::move(ie));
+      // The scorecard's zero-cost entry: state bytes a speculative fork
+      // would have snapshotted here, elided along with the guess/guard/
+      // verification machinery.
+      obs::Event se = make_event(obs::EventKind::kSafeForkElided);
+      se.thread = new_index;
+      se.interval = t.interval;
+      se.a = r.machine.state_bytes();
+      se.detail = f.site;
+      recorder().record(std::move(se));
     }
 
     auto [it, inserted] = threads_.emplace(new_index, std::move(r));

@@ -103,9 +103,42 @@ void Histogram::merge(const Histogram& other) {
   total_ += other.total_;
 }
 
+double Histogram::percentile(double p) const {
+  OCSP_CHECK(p >= 0.0 && p <= 100.0);
+  if (total_ == 0) return 0.0;
+  // Target rank in [0, total]; walk buckets until the cumulative count
+  // reaches it, then interpolate linearly within the bucket.  Out-of-range
+  // samples were clamped into the end buckets at add() time, so the result
+  // is bounded by [lo_, hi_].
+  const double rank = p / 100.0 * static_cast<double>(total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += counts_[i];
+    if (static_cast<double>(cum) >= rank) {
+      const double b_lo = bucket_lo(i);
+      const double b_hi = i + 1 == counts_.size() ? hi_ : bucket_lo(i + 1);
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (rank - before) / static_cast<double>(counts_[i]);
+      return b_lo + (b_hi - b_lo) * std::min(1.0, std::max(0.0, frac));
+    }
+  }
+  return hi_;
+}
+
 std::string Histogram::to_string() const {
   std::string out;
   char line[96];
+  if (total_ > 0) {
+    std::snprintf(line, sizeof line,
+                  "total=%llu p50=%g p99=%g p999=%g\n",
+                  static_cast<unsigned long long>(total_), p50(), p99(),
+                  p999());
+    out += line;
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     if (counts_[i] == 0) continue;
     const double b_lo = bucket_lo(i);

@@ -73,7 +73,16 @@ class Histogram {
   /// Accumulate another histogram's counts.  CHECKs same_shape().
   void merge(const Histogram& other);
 
-  /// Render one "[lo, hi)  count" line per non-empty bucket.
+  /// Approximate percentile (p in [0,100]) by linear interpolation inside
+  /// the bucket containing the target rank; 0 if empty.  Exact percentiles
+  /// need `Samples`; this is the summary companion for fixed-bucket series.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
+
+  /// Render a summary line (total, p50/p99/p999) followed by one
+  /// "[lo, hi)  count" line per non-empty bucket.
   std::string to_string() const;
 
  private:

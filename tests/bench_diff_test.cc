@@ -1,0 +1,171 @@
+// Bench regression gate tests: diff_bench_json must pass on identical
+// documents, fail on a perturbed metric, honor per-metric tolerance bands,
+// deduplicate google-benchmark's repeated same-name entries, and reject
+// schema or benchmark-set drift.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/bench_compare.h"
+#include "util/json.h"
+
+namespace ocsp {
+namespace {
+
+using obs::BenchDiffOptions;
+using obs::diff_bench_json;
+
+util::JsonValue parse(const std::string& text) {
+  auto doc = util::json_parse(text);
+  EXPECT_TRUE(doc.has_value()) << "test fixture is not valid JSON";
+  return doc.value_or(util::JsonValue{});
+}
+
+const char* kBaseline = R"({
+  "schema": "ocsp-bench-v1",
+  "schema_version": 2,
+  "binary": "./bench/bench_example",
+  "benchmarks": [
+    {
+      "name": "BM_Example/1",
+      "virt_ms": 1.25,
+      "metrics": {
+        "counters": {"commits": 7, "aborts": 2},
+        "gauges": {"guess_accuracy": 0.7777777777777778},
+        "histograms": {
+          "latency": {"lo": 0, "hi": 100, "total": 4,
+                      "p50": 25, "p99": 99, "p999": 99.9,
+                      "buckets": [2, 2]}
+        }
+      }
+    }
+  ]
+})";
+
+std::string with(const std::string& doc, const std::string& from,
+                 const std::string& to) {
+  std::string out = doc;
+  const std::size_t at = out.find(from);
+  EXPECT_NE(at, std::string::npos);
+  out.replace(at, from.size(), to);
+  return out;
+}
+
+TEST(BenchDiff, IdenticalDocumentsPass) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(kBaseline);
+  const auto result = diff_bench_json(baseline, fresh);
+  EXPECT_TRUE(result.ok()) << result.mismatches.front();
+  EXPECT_TRUE(result.mismatches.empty());
+}
+
+TEST(BenchDiff, DifferentBinaryPathStillPasses) {
+  // "binary" records where the bench ran from; checkout paths differ
+  // between CI and a developer tree and must not trip the gate.
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(
+      with(kBaseline, "./bench/bench_example", "./build/bench/other"));
+  EXPECT_TRUE(diff_bench_json(baseline, fresh).ok());
+}
+
+TEST(BenchDiff, PerturbedIntegerCounterFails) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(with(kBaseline, "\"commits\": 7",
+                                "\"commits\": 8"));
+  const auto result = diff_bench_json(baseline, fresh);
+  ASSERT_FALSE(result.ok());
+  bool names_commits = false;
+  for (const auto& m : result.mismatches) {
+    if (m.find("commits") != std::string::npos) names_commits = true;
+  }
+  EXPECT_TRUE(names_commits);
+}
+
+TEST(BenchDiff, PerturbedFloatBeyondToleranceFails) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh =
+      parse(with(kBaseline, "\"virt_ms\": 1.25", "\"virt_ms\": 1.26"));
+  EXPECT_FALSE(diff_bench_json(baseline, fresh).ok());
+}
+
+TEST(BenchDiff, ToleranceBandAdmitsDrift) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(with(kBaseline, "\"commits\": 7",
+                                "\"commits\": 8"));
+  BenchDiffOptions options;
+  options.metric_rel_tol["commits"] = 0.2;  // leaf-name override
+  EXPECT_TRUE(diff_bench_json(baseline, fresh, options).ok());
+  // ...but the band is per-metric: a different perturbed metric still fails.
+  const auto fresh2 =
+      parse(with(kBaseline, "\"aborts\": 2", "\"aborts\": 3"));
+  EXPECT_FALSE(diff_bench_json(baseline, fresh2, options).ok());
+}
+
+TEST(BenchDiff, RepeatedEntriesAreDeduplicated) {
+  // google-benchmark re-runs a benchmark a nondeterministic number of
+  // times; the same-name entries are identical and must collapse to one.
+  std::string doubled = kBaseline;
+  const std::string entry = R"({
+      "name": "BM_Example/1",
+      "virt_ms": 1.25,
+      "metrics": {
+        "counters": {"commits": 7, "aborts": 2},
+        "gauges": {"guess_accuracy": 0.7777777777777778},
+        "histograms": {
+          "latency": {"lo": 0, "hi": 100, "total": 4,
+                      "p50": 25, "p99": 99, "p999": 99.9,
+                      "buckets": [2, 2]}
+        }
+      }
+    })";
+  const std::size_t open = doubled.find("{\n      \"name\"");
+  ASSERT_NE(open, std::string::npos);
+  doubled.insert(open, entry + ",\n    ");
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(doubled);
+  const auto result = diff_bench_json(baseline, fresh);
+  EXPECT_TRUE(result.ok());
+  ASSERT_FALSE(result.notes.empty());
+  EXPECT_NE(result.notes.front().find("deduplicated"), std::string::npos);
+}
+
+TEST(BenchDiff, MissingBenchmarkFails) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(
+      with(kBaseline, "\"name\": \"BM_Example/1\"",
+           "\"name\": \"BM_Renamed/1\""));
+  const auto result = diff_bench_json(baseline, fresh);
+  ASSERT_FALSE(result.ok());
+  // Both directions are reported: baseline entry gone, new entry unknown.
+  EXPECT_GE(result.mismatches.size(), 2u);
+}
+
+TEST(BenchDiff, SchemaVersionDriftFails) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh =
+      parse(with(kBaseline, "\"schema_version\": 2", "\"schema_version\": 3"));
+  const auto result = diff_bench_json(baseline, fresh);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.mismatches.front().find("schema_version"),
+            std::string::npos);
+}
+
+TEST(BenchDiff, WrongSchemaStringFails) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(
+      with(kBaseline, "\"schema\": \"ocsp-bench-v1\"",
+           "\"schema\": \"something-else\""));
+  EXPECT_FALSE(diff_bench_json(baseline, fresh).ok());
+}
+
+TEST(BenchDiff, NewMetricNotInBaselineFails) {
+  const auto baseline = parse(kBaseline);
+  const auto fresh = parse(with(kBaseline, "\"commits\": 7",
+                                "\"commits\": 7, \"extra\": 1"));
+  const auto result = diff_bench_json(baseline, fresh);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.mismatches.front().find("extra"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ocsp

@@ -189,6 +189,43 @@ TEST(ObsChromeTrace, FaultRunTagsAbortSlices) {
   EXPECT_GT(s.abort_slices, 0u);
 }
 
+TEST(ObsChromeTrace, SafeFanoutDocumentRoundTripsWellFormed) {
+  // Round-trip every exported event through the JSON parser: each entry
+  // must be an object with a phase, a pid, and (for non-metadata phases) a
+  // numeric timestamp.  The SAFE-fanout run exercises the elided-fork
+  // events through the exporter as well.
+  core::SafeFanoutParams p;
+  p.servers = 4;
+  p.net.latency = sim::microseconds(300);
+  baseline::RunResult result =
+      baseline::run_scenario(core::safe_fanout_scenario(p), true);
+  ASSERT_TRUE(result.all_completed);
+  ASSERT_TRUE(result.recorder != nullptr);
+  EXPECT_GT(result.recorder->count(obs::EventKind::kSafeForkElided), 0u);
+
+  const std::string text =
+      obs::chrome_trace_json(*result.recorder, result.process_names);
+  auto doc = util::json_parse(text);
+  ASSERT_TRUE(doc.has_value()) << "exporter emitted invalid JSON";
+  const util::JsonValue* events = doc->find("traceEvents");
+  ASSERT_TRUE(events != nullptr && events->is_array());
+  ASSERT_FALSE(events->array.empty());
+  for (const auto& e : events->array) {
+    ASSERT_TRUE(e.is_object());
+    const util::JsonValue* ph = e.find("ph");
+    ASSERT_TRUE(ph != nullptr && ph->is_string());
+    ASSERT_TRUE(e.find("pid") != nullptr);
+    if (ph->string != "M") {
+      const util::JsonValue* ts = e.find("ts");
+      ASSERT_TRUE(ts != nullptr && ts->is_number());
+      EXPECT_GE(ts->number, 0.0);
+    }
+  }
+  const TraceShape s = shape_of(*doc);
+  EXPECT_EQ(s.process_name_meta, result.process_names.size());
+  EXPECT_EQ(s.flow_starts, s.flow_ends);
+}
+
 // ---- Metrics snapshot -----------------------------------------------------
 
 TEST(ObsMetrics, RunWideSnapshotCarriesCanonicalSeries) {

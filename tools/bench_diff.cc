@@ -1,0 +1,91 @@
+// bench_diff: regression gate over committed ocsp-bench-v1 baselines.
+//
+// Usage:
+//   bench_diff [--tol metric=rel]... baseline.json fresh.json
+//
+// Exit codes: 0 metrics match within tolerance, 1 regression/mismatch,
+// 2 usage or I/O error.  The default comparison is exact for integer
+// metrics (the simulated protocol is deterministic); `--tol` loosens a
+// single metric by name ("net_bytes_sent") or full path
+// ("counters/net_bytes_sent") without widening anything else.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/bench_compare.h"
+#include "util/json.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tol metric=rel]... baseline.json fresh.json\n",
+               argv0);
+  return 2;
+}
+
+std::optional<ocsp::util::JsonValue> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto doc = ocsp::util::json_parse(text.str());
+  if (!doc) {
+    std::fprintf(stderr, "bench_diff: %s is not valid JSON\n", path.c_str());
+  }
+  return doc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ocsp::obs::BenchDiffOptions options;
+  std::string baseline_path;
+  std::string fresh_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tol") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const std::string spec = argv[++i];
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) return usage(argv[0]);
+      const double rel = std::atof(spec.c_str() + eq + 1);
+      if (rel < 0) return usage(argv[0]);
+      options.metric_rel_tol[spec.substr(0, eq)] = rel;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (baseline_path.empty() || fresh_path.empty()) return usage(argv[0]);
+
+  const auto baseline = load(baseline_path);
+  const auto fresh = load(fresh_path);
+  if (!baseline || !fresh) return 2;
+
+  const auto result = ocsp::obs::diff_bench_json(*baseline, *fresh, options);
+  for (const auto& note : result.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  if (result.ok()) {
+    std::printf("bench_diff: %s matches %s\n", fresh_path.c_str(),
+                baseline_path.c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "bench_diff: %zu mismatch(es) vs %s\n",
+               result.mismatches.size(), baseline_path.c_str());
+  for (const auto& m : result.mismatches) {
+    std::fprintf(stderr, "  %s\n", m.c_str());
+  }
+  return 1;
+}

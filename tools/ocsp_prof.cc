@@ -1,0 +1,160 @@
+// ocsp_prof: run a canonical workload and print its causal profile.
+//
+// The profile answers three questions the raw counters cannot:
+//   - where did the virtual time go?  (exact partition: useful / wasted /
+//     rollback / verify / stall, per process and globally)
+//   - what bounds the speedup?  (critical path of the committed run)
+//   - which fork site pays for the aborts?  (per-site scorecards with the
+//     cascade walked back to the originating mis-guess)
+//
+// Usage:
+//   ocsp_prof [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual]
+//             [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]
+//
+// Default output is the human-readable report; --json emits one
+// ocsp-prof-v1 document (to stdout, or to the given path).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "baseline/scenario.h"
+#include "core/workloads.h"
+#include "obs/attribution.h"
+#include "obs/prof_json.h"
+#include "obs/profile.h"
+
+namespace {
+
+struct Options {
+  std::string workload = "fig5";
+  bool speculation = true;
+  bool json = false;
+  std::string json_path;
+  int scale = 1;
+  std::uint64_t seed = 42;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual]"
+      " [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]\n",
+      argv0);
+  return 2;
+}
+
+ocsp::baseline::Scenario make_scenario(const Options& o) {
+  using namespace ocsp;
+  if (o.workload == "fig5") {
+    core::WriteThroughParams p;
+    p.force_fault = true;
+    p.transactions = o.scale;
+    p.net.latency = sim::microseconds(200);
+    p.seed = o.seed;
+    return core::write_through_scenario(p);
+  }
+  if (o.workload == "safe_fanout") {
+    core::SafeFanoutParams p;
+    p.servers = 4 * o.scale;
+    p.net.latency = sim::microseconds(300);
+    p.seed = o.seed;
+    return core::safe_fanout_scenario(p);
+  }
+  if (o.workload == "putline") {
+    core::PutLineParams p;
+    p.lines = 8 * o.scale;
+    p.seed = o.seed;
+    return core::putline_scenario(p);
+  }
+  if (o.workload == "pipeline") {
+    core::PipelineParams p;
+    p.calls = 8 * o.scale;
+    p.seed = o.seed;
+    return core::pipeline_scenario(p);
+  }
+  if (o.workload == "dbfs") {
+    core::DbFsParams p;
+    p.transactions = 4 * o.scale;
+    p.seed = o.seed;
+    return core::db_fs_scenario(p);
+  }
+  if (o.workload == "mutual") {
+    core::MutualParams p;
+    p.crossing = true;
+    p.seed = o.seed;
+    return core::mutual_scenario(p);
+  }
+  std::fprintf(stderr, "ocsp_prof: unknown workload '%s'\n",
+               o.workload.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.rfind(prefix, 0) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = val("--workload=")) {
+      opts.workload = v;
+    } else if (arg == "--pessimistic") {
+      opts.speculation = false;
+    } else if (const char* v2 = val("--scale=")) {
+      opts.scale = std::atoi(v2);
+      if (opts.scale < 1) opts.scale = 1;
+    } else if (const char* v3 = val("--seed=")) {
+      opts.seed = static_cast<std::uint64_t>(std::atoll(v3));
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else if (const char* v4 = val("--json=")) {
+      opts.json = true;
+      opts.json_path = v4;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  auto scenario = make_scenario(opts);
+  auto result = ocsp::baseline::run_scenario(scenario, opts.speculation);
+  if (!result.recorder) {
+    std::fprintf(stderr, "ocsp_prof: run produced no event recorder\n");
+    return 1;
+  }
+
+  const auto profile =
+      ocsp::obs::build_profile(*result.recorder, result.process_names);
+  const auto attribution =
+      ocsp::obs::build_attribution(*result.recorder, result.process_names);
+
+  if (opts.json) {
+    const std::string doc = ocsp::obs::prof_json(profile, attribution);
+    if (opts.json_path.empty()) {
+      std::printf("%s\n", doc.c_str());
+    } else {
+      std::FILE* f = std::fopen(opts.json_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "ocsp_prof: cannot write %s\n",
+                     opts.json_path.c_str());
+        return 1;
+      }
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fputc('\n', f);
+      std::fclose(f);
+      std::printf("ocsp_prof: wrote %s\n", opts.json_path.c_str());
+    }
+    return 0;
+  }
+
+  std::printf("workload %s (%s, scale %d, seed %llu)\n\n",
+              opts.workload.c_str(),
+              opts.speculation ? "optimistic" : "pessimistic", opts.scale,
+              static_cast<unsigned long long>(opts.seed));
+  std::printf("%s\n", ocsp::obs::profile_table(profile).c_str());
+  std::printf("%s", ocsp::obs::attribution_table(attribution).c_str());
+  return 0;
+}
