@@ -68,7 +68,8 @@ SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
                           const std::map<std::string, csp::PredictorSpec>&
                               declared,
                           const std::string& site, bool from_hint,
-                          std::vector<Finding>& findings) {
+                          std::vector<Finding>& findings,
+                          const CommuteContext* commute) {
   SiteReport r;
   r.site = site;
   r.from_hint = from_hint;
@@ -103,8 +104,33 @@ SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
       set_intersection(e1.may_targets(), right.may_targets());
   r.shared_targets.assign(shared.begin(), shared.end());
 
+  // Cross-process widening: a shared target is harmless when every op pair
+  // either half may fire there commutes (peers included).  Computed targets
+  // never qualify — they are not members of may_ops at all.
+  std::set<std::string> commuting;
+  std::string commute_why;
+  if (commute != nullptr) {
+    static const std::set<std::string> kNoOps;
+    for (const auto& t : shared) {
+      auto li = e1.may_ops.find(t);
+      auto ri = right.may_ops.find(t);
+      std::string why;
+      if (split_commutes_at(*commute, t,
+                            li == e1.may_ops.end() ? kNoOps : li->second,
+                            ri == right.may_ops.end() ? kNoOps : ri->second,
+                            &why)) {
+        commuting.insert(t);
+        if (!commute_why.empty()) commute_why += "; ";
+        commute_why += why;
+      }
+    }
+  }
+  r.commuting_targets.assign(commuting.begin(), commuting.end());
+  const std::set<std::string> conflicting_shared =
+      set_difference(shared, commuting);
+
   auto add = [&](Severity sev, std::string code, std::string msg,
-                 std::string fix) {
+                 std::string fix) -> Finding& {
     Finding f;
     f.site = site;
     f.severity = sev;
@@ -112,6 +138,7 @@ SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
     f.message = std::move(msg);
     f.suggestion = std::move(fix);
     findings.push_back(std::move(f));
+    return findings.back();
   };
 
   bool reject = false;
@@ -137,16 +164,29 @@ SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
   const std::set<std::string> certain_overlap = set_intersection(
       e1.must_call_targets,
       set_union(e2.must_call_targets, e2.must_send_targets));
-  if (!certain_overlap.empty()) {
+  // Commutativity softens the diagnosis: when the server's op summaries
+  // prove both halves' requests commute (state and replies), the race is
+  // harmless and there is nothing to roll back.
+  const std::set<std::string> certain_conflicting =
+      set_difference(certain_overlap, commuting);
+  if (!certain_conflicting.empty()) {
     const bool hard = from_hint && automatic;
     reject |= hard;
     add(hard ? Severity::kError : Severity::kWarning, "certain-time-fault",
-        "S1 and S2 both communicate with " + join(certain_overlap) +
+        "S1 and S2 both communicate with " + join(certain_conflicting) +
             " on every execution path; the speculative half's request races "
             "S1's own traffic there and will be rolled back whenever it "
             "arrives early",
         "narrow the hint span or move the conflicting communication out of "
         "the speculative half");
+  } else if (!certain_overlap.empty()) {
+    Finding& fd = add(
+        Severity::kInfo, "commute-safe-overlap",
+        "S1 and S2 both communicate with " + join(certain_overlap) +
+            " on every execution path, but every op pair commutes there; "
+            "the overlap cannot cause an observable fault",
+        "");
+    fd.commutativity = commute_why;
   }
 
   if (automatic && !carried.empty()) {
@@ -190,20 +230,38 @@ SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
       !r.has_anti_dependency &&
       set_intersection(e1.reads, cont.writes).empty() &&
       !e1.targets_unknowable() && !right.targets_unknowable() &&
-      shared.empty() && !e1.may_receive && !right.may_receive &&
+      conflicting_shared.empty() && !e1.may_receive && !right.may_receive &&
       !e1.may_reply && !right.may_reply &&
       !(e1.may_print && right.may_print) && !e1.has_spec_site;
   if (safe) {
     r.cls = ForkClass::kSafe;
-    add(Severity::kInfo, "proven-safe",
-        "empty passed set, no anti-dependency, disjoint communication "
-        "targets (S1 " +
-            join(e1.may_targets()) + " vs right thread " +
-            join(right.may_targets()) +
-            "); the state copy and guard machinery can be elided",
+    const bool widened = !commuting.empty();
+    Finding& fd = add(
+        Severity::kInfo, widened ? "commute-safe" : "proven-safe",
+        widened
+            ? "empty passed set, no anti-dependency, and the shared "
+              "target(s) " +
+                  join(commuting) +
+                  " carry only commuting ops (peers included); the state "
+                  "copy and guard machinery can be elided"
+            : "empty passed set, no anti-dependency, disjoint communication "
+              "targets (S1 " +
+                  join(e1.may_targets()) + " vs right thread " +
+                  join(right.may_targets()) +
+                  "); the state copy and guard machinery can be elided",
         "");
+    fd.commutativity = commute_why;
   } else {
     r.cls = ForkClass::kSpeculative;
+    if (!commuting.empty() && !conflicting_shared.empty()) {
+      Finding& fd = add(
+          Severity::kInfo, "partial-commute",
+          "interference at " + join(commuting) +
+              " commutes, but " + join(conflicting_shared) +
+              " still carries non-commuting ops; the site stays speculative",
+          "");
+      fd.commutativity = commute_why;
+    }
   }
   return r;
 }
@@ -216,7 +274,8 @@ namespace {
 
 class Walker {
  public:
-  explicit Walker(ProgramReport& out) : out_(out) {}
+  Walker(ProgramReport& out, const CommuteContext* commute)
+      : out_(out), commute_(commute) {}
 
   void walk(const csp::StmtPtr& stmt, const CommEffects& cont) {
     if (!stmt) return;
@@ -298,7 +357,8 @@ class Walker {
           csp::seq(std::vector<csp::StmtPtr>(body.begin() + i + 1,
                                              body.end()));
       SiteReport rep = classify_split(s1, s2, cont, h.predictors, site,
-                                      /*from_hint=*/true, out_.findings);
+                                      /*from_hint=*/true, out_.findings,
+                                      commute_);
       if (rep.cls != ForkClass::kReject) ++counter_;
       out_.sites.push_back(std::move(rep));
     }
@@ -308,7 +368,8 @@ class Walker {
     const std::string site = site_name(f.site);
     ++counter_;
     SiteReport rep = classify_split(f.left, f.right, cont, f.predictors,
-                                    site, /*from_hint=*/false, out_.findings);
+                                    site, /*from_hint=*/false, out_.findings,
+                                    commute_);
     if (f.mode == csp::ForkMode::kSafe && rep.cls != ForkClass::kSafe) {
       Finding fd;
       fd.site = site;
@@ -331,7 +392,15 @@ class Walker {
       fd.message =
           "fork runs speculatively but is provably non-interfering; safe "
           "mode would elide the guard machinery";
-      fd.suggestion = "re-run fork insertion with classification enabled";
+      fd.suggestion =
+          "set mode=safe on the fork (transform::reclassify applies this)";
+      fd.suggested_mode = "safe";
+      if (!rep.commuting_targets.empty()) {
+        std::set<std::string> cs(rep.commuting_targets.begin(),
+                                 rep.commuting_targets.end());
+        fd.commutativity = "shared target(s) " + join(cs) +
+                           " carry only commuting ops";
+      }
       out_.findings.push_back(std::move(fd));
     }
     out_.sites.push_back(std::move(rep));
@@ -361,15 +430,17 @@ class Walker {
   }
 
   ProgramReport& out_;
+  const CommuteContext* commute_;
   std::size_t counter_ = 0;
 };
 
 }  // namespace
 
-ProgramReport analyze_program(const csp::StmtPtr& program, std::string label) {
+ProgramReport analyze_program(const csp::StmtPtr& program, std::string label,
+                              const CommuteContext* commute) {
   ProgramReport report;
   report.program = std::move(label);
-  Walker(report).walk(program, CommEffects{});
+  Walker(report, commute).walk(program, CommEffects{});
   return report;
 }
 
@@ -451,6 +522,8 @@ void ProgramReport::write_json(util::JsonWriter& w) const {
     w.key("anti_dependency").value(s.has_anti_dependency);
     w.key("shared_targets");
     write_string_array(w, s.shared_targets);
+    w.key("commuting_targets");
+    write_string_array(w, s.commuting_targets);
     w.key("left");
     write_side(w, s.left);
     w.key("right");
@@ -467,6 +540,8 @@ void ProgramReport::write_json(util::JsonWriter& w) const {
     w.key("code").value(f.code);
     w.key("message").value(f.message);
     w.key("suggestion").value(f.suggestion);
+    w.key("commutativity").value(f.commutativity);
+    w.key("suggested_mode").value(f.suggested_mode);
     w.end_object();
   }
   w.end_array();
@@ -498,12 +573,23 @@ std::string ProgramReport::to_text() const {
       }
       out << "}";
     }
+    if (!s.commuting_targets.empty()) {
+      out << " commuting={";
+      for (std::size_t i = 0; i < s.commuting_targets.size(); ++i) {
+        if (i) out << ", ";
+        out << s.commuting_targets[i];
+      }
+      out << "}";
+    }
     out << "\n";
   }
   for (const auto& f : findings) {
     out << "  [" << to_string(f.severity) << "] site '" << f.site << "' ("
         << f.code << "): " << f.message << "\n";
     if (!f.suggestion.empty()) out << "      fix: " << f.suggestion << "\n";
+    if (!f.commutativity.empty()) {
+      out << "      commutes: " << f.commutativity << "\n";
+    }
   }
   return out.str();
 }

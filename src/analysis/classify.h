@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/commute.h"
 #include "analysis/effects.h"
 #include "csp/program.h"
 #include "util/json.h"
@@ -51,6 +52,12 @@ struct Finding {
   std::string code;
   std::string message;
   std::string suggestion;
+  /// Why the interference commutes, when commutativity summaries contributed
+  /// to this finding (empty otherwise).  Schema "ocsp-lint-v2".
+  std::string commutativity;
+  /// Concrete fork-mode change this finding licenses (e.g. "safe" on an
+  /// elidable-site), machine-readable for tooling.  Empty when none.
+  std::string suggested_mode;
 };
 
 /// Classification result for one site.
@@ -61,8 +68,12 @@ struct SiteReport {
   /// Inferred (automatic mode) or declared (explicit predictors) passed set.
   std::vector<std::string> passed;
   bool has_anti_dependency = false;
-  /// May-targets reachable from both sides; empty is a SAFE precondition.
+  /// May-targets reachable from both sides; every one must be proven
+  /// commuting (below) for the site to be SAFE.
   std::vector<std::string> shared_targets;
+  /// Shared targets whose cross-process interference provably commutes
+  /// (summaries: both halves' ops pairwise commute, peers included).
+  std::vector<std::string> commuting_targets;
   CommEffects left;   ///< S1 summary
   CommEffects right;  ///< S2 + continuation summary
 };
@@ -74,7 +85,9 @@ struct ProgramReport {
 
   bool has_errors() const;
   std::size_t count(ForkClass c) const;
-  /// Append this report as one JSON object to `w` (schema "ocsp-lint-v1").
+  /// Append this report as one JSON object to `w` (schema "ocsp-lint-v2",
+  /// a strict superset of v1: adds per-site `commuting_targets` and
+  /// per-finding `commutativity` / `suggested_mode`).
   void write_json(util::JsonWriter& w) const;
   /// Human-readable findings (one block per site, lint-style).
   std::string to_text() const;
@@ -85,17 +98,25 @@ struct ProgramReport {
 /// suffixes); it is weakened to may-only effects internally.  `declared` is
 /// the site's explicit predictor map — empty selects automatic passed-set
 /// inference.  Diagnostics are appended to `findings`.
+///
+/// `commute`, when non-null, widens the disjoint-targets SAFE precondition:
+/// a shared target no longer disqualifies the site if every op either half
+/// may invoke there commutes with the other half's ops and with every peer
+/// process's ops (analysis/commute.h).  Null keeps the strict rule.
 SiteReport classify_split(const csp::StmtPtr& s1, const csp::StmtPtr& s2,
                           const CommEffects& continuation,
                           const std::map<std::string, csp::PredictorSpec>&
                               declared,
                           const std::string& site, bool from_hint,
-                          std::vector<Finding>& findings);
+                          std::vector<Finding>& findings,
+                          const CommuteContext* commute = nullptr);
 
 /// Walk a whole program and classify every ParallelizeHint (against the
 /// S1/S2 split fork insertion would choose) and every existing ForkStmt.
-/// Works on both pre- and post-transform trees.
+/// Works on both pre- and post-transform trees.  A non-null `commute`
+/// context enables the cross-process commutativity widening at every site.
 ProgramReport analyze_program(const csp::StmtPtr& program,
-                              std::string label = {});
+                              std::string label = {},
+                              const CommuteContext* commute = nullptr);
 
 }  // namespace ocsp::analysis

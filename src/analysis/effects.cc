@@ -13,6 +13,13 @@ void union_into(std::set<std::string>& dst, const std::set<std::string>& src) {
   dst.insert(src.begin(), src.end());
 }
 
+void union_ops_into(std::map<std::string, std::set<std::string>>& dst,
+                    const std::map<std::string, std::set<std::string>>& src) {
+  for (const auto& [target, ops] : src) {
+    dst[target].insert(ops.begin(), ops.end());
+  }
+}
+
 void intersect_into(std::set<std::string>& dst,
                     const std::set<std::string>& src) {
   for (auto it = dst.begin(); it != dst.end();) {
@@ -52,6 +59,7 @@ void CommEffects::merge_seq(const CommEffects& next) {
   union_into(must_call_targets, next.must_call_targets);
   union_into(may_send_targets, next.may_send_targets);
   union_into(must_send_targets, next.must_send_targets);
+  union_ops_into(may_ops, next.may_ops);
   may_receive |= next.may_receive;
   must_receive |= next.must_receive;
   may_print |= next.may_print;
@@ -67,6 +75,7 @@ void CommEffects::merge_alt(const CommEffects& other) {
   union_into(writes, other.writes);
   union_into(may_call_targets, other.may_call_targets);
   union_into(may_send_targets, other.may_send_targets);
+  union_ops_into(may_ops, other.may_ops);
   intersect_into(must_call_targets, other.must_call_targets);
   intersect_into(must_send_targets, other.must_send_targets);
   may_receive |= other.may_receive;
@@ -143,6 +152,7 @@ CommEffects effects_of(const csp::Stmt& stmt) {
       } else {
         e.may_call_targets.insert(s.target);
         e.must_call_targets.insert(s.target);
+        e.may_ops[s.target].insert(s.op);
       }
       break;
     }
@@ -155,6 +165,7 @@ CommEffects effects_of(const csp::Stmt& stmt) {
       } else {
         e.may_send_targets.insert(s.target);
         e.must_send_targets.insert(s.target);
+        e.may_ops[s.target].insert(s.op);
       }
       break;
     }

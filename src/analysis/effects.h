@@ -19,6 +19,7 @@
 // may-sets are lower bounds and every proof of absence must be refused.
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 
@@ -41,6 +42,13 @@ struct CommEffects {
   bool may_print = false;   ///< external observable output (PrintStmt)
   bool must_print = false;
   bool may_reply = false;
+
+  /// Per-target operation names the fragment may invoke there (calls and
+  /// sends with a static destination).  May-style: widened by union
+  /// everywhere.  Feeds the commutativity analysis — when two fragments
+  /// share a target, their op sets decide whether the interference
+  /// commutes (analysis/commute.h).
+  std::map<std::string, std::set<std::string>> may_ops;
 
   /// Contains a NativeStmt: every invisible effect is possible, so the
   /// may-sets are lower bounds and proofs of absence are invalid.

@@ -2,9 +2,10 @@
 
 namespace ocsp::baseline {
 
-void Scenario::add(std::string name, csp::StmtPtr program, csp::Env env) {
-  processes.push_back(
-      ScenarioProcess{std::move(name), std::move(program), std::move(env)});
+void Scenario::add(std::string name, csp::StmtPtr program, csp::Env env,
+                   csp::CommDecls commute) {
+  processes.push_back(ScenarioProcess{std::move(name), std::move(program),
+                                      std::move(env), std::move(commute)});
 }
 
 std::unique_ptr<spec::Runtime> make_runtime(const Scenario& scenario,

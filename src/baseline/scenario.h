@@ -26,6 +26,10 @@ struct ScenarioProcess {
   std::string name;
   csp::StmtPtr program;
   csp::Env env;
+  /// Declared commutativity summaries for this process *as a target*
+  /// (analysis-side only: consumed by analysis::build_commute_context;
+  /// the runtime never reads them).  Empty means "infer from the program".
+  csp::CommDecls commute;
 };
 
 struct Scenario {
@@ -40,7 +44,8 @@ struct Scenario {
   };
   std::vector<LinkOverride> links;
 
-  void add(std::string name, csp::StmtPtr program, csp::Env env = {});
+  void add(std::string name, csp::StmtPtr program, csp::Env env = {},
+           csp::CommDecls commute = {});
 };
 
 struct RunResult {

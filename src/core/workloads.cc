@@ -486,4 +486,102 @@ baseline::Scenario safe_fanout_scenario(const SafeFanoutParams& params) {
   return scenario;
 }
 
+// ---------------------------------------------------------------------------
+// Commutative registry
+// ---------------------------------------------------------------------------
+
+std::string commute_registry_client(int i) { return "C" + std::to_string(i); }
+
+analysis::CommuteContext scenario_commute_context(
+    const baseline::Scenario& scenario, const std::string& self) {
+  std::vector<analysis::SystemProcess> procs;
+  procs.reserve(scenario.processes.size());
+  for (const auto& p : scenario.processes) {
+    procs.push_back({p.name, p.program, p.commute});
+  }
+  return analysis::build_commute_context(procs, self);
+}
+
+baseline::Scenario commute_registry_scenario(const CommuteRegistryParams& p) {
+  OCSP_CHECK(p.clients >= 1);
+
+  // The registry is a service_loop so infer_summaries can read the dispatch
+  // arms; every handler shape below is deliberate (see the header comment).
+  std::map<std::string, csp::StmtPtr> handlers;
+  handlers["Add"] = seq({
+      assign("count", add(var("count"), arg(0))),
+      reply(lit(Value(true))),
+  });
+  handlers["Note"] = assign("notes", add(var("notes"), arg(0)));
+  if (p.mutate_ops) {
+    handlers["Stamp"] = seq({
+        assign("stamps", add(var("stamps"), lit(Value(1)))),
+        reply(var("stamps")),
+    });
+  }
+  csp::Env registry_env;
+  registry_env.set("count", Value(0));
+  registry_env.set("notes", Value(0));
+  registry_env.set("stamps", Value(0));
+
+  baseline::Scenario scenario;
+  scenario.options.seed = p.seed;
+  scenario.options.spec = p.spec;
+  scenario.options.default_link = make_link(p.net);
+
+  for (int c = 0; c < p.clients; ++c) {
+    std::vector<csp::StmtPtr> body;
+    body.push_back(call("R", "Add", {lit(Value(1))}, "a"));  // reply dead
+    if (p.mutate_ops) {
+      // Stamp's reply is the globally-ordered total: any speculative guess
+      // for it is wrong under contention, but `s` is only ever branched on
+      // (boolean use) and `junk` is never read (dead) — the shapes the
+      // verify relaxation forgives.
+      body.push_back(call("R", "Stamp", {}, "s"));
+      body.push_back(if_(var("s"), assign("x", add(var("x"), lit(Value(1))))));
+      body.push_back(call("R", "Stamp", {}, "junk"));
+    }
+    body.push_back(send("R", "Note", {var("i")}));
+    body.push_back(assign("i", add(var("i"), lit(Value(1)))));
+
+    csp::StmtPtr client = seq({
+        assign("i", lit(Value(0))),
+        assign("x", lit(Value(0))),
+        while_(lt(var("i"), lit(Value(p.iterations))), seq(std::move(body))),
+        print(list_of({lit(Value("registry")), lit(Value(c)), var("x")})),
+    });
+
+    if (p.stream) {
+      transform::StreamingOptions opts;
+      opts.predictor = [](const csp::CallStmt& cs) {
+        // Add always replies true; Stamp's stale guess is deliberately
+        // wrong from the second call onward.
+        return cs.op == "Add" ? csp::PredictorSpec::always(Value(true))
+                              : csp::PredictorSpec::always(Value(1));
+      };
+      opts.timeout = p.spec.fork_timeout;
+      client = transform::stream_calls(client, opts).program;
+    }
+    scenario.add(commute_registry_client(c), std::move(client));
+    if (p.client_skew > 0 && c > 0) {
+      net::LinkConfig skewed = make_link(p.net);
+      skewed.latency =
+          net::fixed_latency(p.net.latency + p.client_skew * c);
+      scenario.links.push_back({commute_registry_client(c), "R", skewed});
+    }
+  }
+  scenario.add("R", csp::service_loop(std::move(handlers), p.service_time),
+               std::move(registry_env));
+
+  if (p.reclassify && p.stream) {
+    for (auto& proc : scenario.processes) {
+      if (proc.name == "R") continue;
+      const analysis::CommuteContext ctx =
+          scenario_commute_context(scenario, proc.name);
+      proc.program = transform::reclassify(proc.program, {&ctx}).program;
+    }
+  }
+  return scenario;
+}
+
 }  // namespace ocsp::core

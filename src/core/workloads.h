@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "analysis/commute.h"
 #include "baseline/scenario.h"
 #include "csp/program.h"
 #include "csp/service.h"
@@ -158,5 +159,54 @@ baseline::Scenario safe_fanout_scenario(const SafeFanoutParams& params);
 
 /// Name of the i-th fan-out service ("F0", "F1", ...).
 std::string safe_fanout_server(int i);
+
+// ---------------------------------------------------------------------------
+// Commutative registry: the commutativity-analysis showcase.  `clients`
+// contended clients hammer one service_loop registry "R" whose ops span the
+// summary lattice:
+//
+//   Add(n)   count += n, replies true          -> abelian over {count}
+//   Stamp()  ++stamps, replies the new total   -> mutating over {stamps}
+//   Note(n)  notes += n, one-way               -> abelian over {notes}
+//
+// With mutate_ops, each client ignores Add's reply, branches on Stamp's
+// reply by truthiness only, and drops a second Stamp reply entirely, so
+// transform::reclassify annotates the streamed forks' passed variables
+// kDead / kBoolean and a guess mismatch on the order-sensitive Stamp total
+// commits instead of aborting (commit-on-commute).  Without mutate_ops the
+// clients touch only the abelian ops and every streamed fork upgrades to
+// ForkMode::kSafe — the cross-process SAFE widening at work.
+// ---------------------------------------------------------------------------
+struct CommuteRegistryParams {
+  int clients = 2;
+  int iterations = 6;
+  /// Include the order-sensitive Stamp calls (commit-on-commute variant);
+  /// false leaves only abelian ops (SAFE-upgrade variant).
+  bool mutate_ops = true;
+  /// Run transform::reclassify over the streamed clients with the
+  /// cross-process commutativity context.
+  bool reclassify = true;
+  bool stream = true;
+  sim::Time service_time = sim::microseconds(10);
+  /// Per-client extra latency towards the registry, staggering arrivals.
+  sim::Time client_skew = sim::microseconds(200);
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario commute_registry_scenario(const CommuteRegistryParams& p);
+
+/// Name of the i-th registry client ("C0", "C1", ...).
+std::string commute_registry_client(int i);
+
+/// Cross-process commutativity context for one process of a scenario:
+/// declared summaries (ScenarioProcess::commute) unioned with what
+/// analysis::infer_summaries extracts from each program, peer ops from
+/// effect analysis.  This is the canonical way tools (ocsp_lint
+/// --rerun-after-transforms) and tests derive the analysis input from a
+/// workload.
+analysis::CommuteContext scenario_commute_context(
+    const baseline::Scenario& scenario, const std::string& self);
 
 }  // namespace ocsp::core

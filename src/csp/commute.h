@@ -1,0 +1,81 @@
+// Commutativity summaries for service operations.
+//
+// An OpCommSpec abstracts one operation's effect on the state of the
+// service that implements it.  The state is partitioned into named
+// *groups* (disjoint regions: a counter, a set, a log); the spec names the
+// groups the op touches and how:
+//
+//   kPure    — reads its groups, writes nothing; the reply is a function
+//              of the group state.
+//   kAbelian — folds a commutative/associative update into its groups
+//              (counter increment, set insert, append-only accumulate) and
+//              replies a value independent of the group state (unit or a
+//              constant).  Any two abelian ops on the same group commute,
+//              replies included.
+//   kMutate  — arbitrary read/write of its groups; the reply may depend on
+//              the order of earlier ops ("return the new total").
+//
+// Summaries are either declared by the workload (natives are opaque to the
+// analyzer) or inferred from service_loop dispatch bodies
+// (analysis::infer_summaries).  The analyzer uses them to widen SAFE
+// fork-site proofs across process boundaries, and the transformer uses
+// them to relax join verification (VerifyMode below).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ocsp::csp {
+
+/// Abstract access level of an op on one state group.  Ordered as a
+/// diamond lattice: kNone below everything, kMutate above everything,
+/// kPure and kAbelian incomparable (analysis::comm_join / comm_meet).
+enum class CommLevel : std::uint8_t { kNone = 0, kPure, kAbelian, kMutate };
+
+inline const char* to_string(CommLevel l) {
+  switch (l) {
+    case CommLevel::kNone: return "none";
+    case CommLevel::kPure: return "pure";
+    case CommLevel::kAbelian: return "abelian";
+    case CommLevel::kMutate: return "mutate";
+  }
+  return "?";
+}
+
+struct OpCommSpec {
+  std::vector<std::string> groups;
+  CommLevel level = CommLevel::kMutate;
+
+  friend bool operator==(const OpCommSpec&, const OpCommSpec&) = default;
+};
+
+/// Summaries for one service process: op name -> spec.  An op absent from
+/// the map is unsummarized and never commutes with anything.
+using CommDecls = std::map<std::string, OpCommSpec>;
+
+/// Per-passed-variable relaxation of join verification, derived statically
+/// by the reclassification pass (transform::reclassify) from how the right
+/// thread uses the variable:
+///
+///   kExact   — paper semantics: any guess/actual mismatch is a value fault.
+///   kBoolean — the right thread only ever branches on the variable's
+///              truthiness (If/While conditions, and/or/not operands); a
+///              mismatch is forgiven when guess and actual agree as
+///              booleans, because every branch taken under the guess is the
+///              branch sequential execution would take.
+///   kDead    — the right thread never reads the variable before it is
+///              overwritten; any mismatch is forgiven.
+enum class VerifyMode : std::uint8_t { kExact = 0, kBoolean, kDead };
+
+inline const char* to_string(VerifyMode m) {
+  switch (m) {
+    case VerifyMode::kExact: return "exact";
+    case VerifyMode::kBoolean: return "boolean";
+    case VerifyMode::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace ocsp::csp

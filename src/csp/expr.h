@@ -33,6 +33,7 @@ class ConstExpr final : public Expr {
   Value eval(const Env&) const override { return value_; }
   void collect_reads(std::set<std::string>&) const override {}
   std::string to_string() const override { return value_.to_string(); }
+  const Value& value() const { return value_; }
 
  private:
   Value value_;
@@ -60,6 +61,8 @@ class UnaryExpr final : public Expr {
   Value eval(const Env& env) const override;
   void collect_reads(std::set<std::string>& out) const override;
   std::string to_string() const override;
+  UnaryOp op() const { return op_; }
+  const ExprPtr& operand() const { return operand_; }
 
  private:
   UnaryOp op_;
@@ -78,6 +81,9 @@ class BinaryExpr final : public Expr {
   Value eval(const Env& env) const override;
   void collect_reads(std::set<std::string>& out) const override;
   std::string to_string() const override;
+  BinaryOp op() const { return op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
 
  private:
   BinaryOp op_;
@@ -92,6 +98,8 @@ class IndexExpr final : public Expr {
   Value eval(const Env& env) const override;
   void collect_reads(std::set<std::string>& out) const override;
   std::string to_string() const override;
+  const ExprPtr& list() const { return list_; }
+  const ExprPtr& index() const { return index_; }
 
  private:
   ExprPtr list_;
@@ -105,6 +113,7 @@ class ListExpr final : public Expr {
   Value eval(const Env& env) const override;
   void collect_reads(std::set<std::string>& out) const override;
   std::string to_string() const override;
+  const std::vector<ExprPtr>& items() const { return items_; }
 
  private:
   std::vector<ExprPtr> items_;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "csp/commute.h"
 #include "csp/expr.h"
 #include "sim/time.h"
 #include "util/rng.h"
@@ -188,6 +189,11 @@ struct ForkStmt final : Stmt {
   /// True if S2 overwrites a variable S1 reads (anti-dependency), forcing
   /// the state copy; false allows the copy elision of section 3.2.
   bool needs_copy = true;
+  /// Per-passed-variable verification relaxation (commit-on-commute).
+  /// Variables absent from the map verify exactly.  Populated by
+  /// transform::reclassify when commutativity summaries license it; empty
+  /// by default, which keeps the paper's exact-equality semantics.
+  std::map<std::string, VerifyMode> verify;
 };
 
 /// Marker the programmer (or profiler) places between S1 and S2 inside a

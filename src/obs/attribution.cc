@@ -156,6 +156,9 @@ AttributionReport build_attribution(
       case EventKind::kGuessFailed:
         ++card(e.process, e.detail).misses;
         break;
+      case EventKind::kCommuteCommit:
+        ++card(e.process, e.detail).commute_commits;
+        break;
       case EventKind::kCommit: {
         ++card(e.process, e.detail).commits;
         auto it = spec_windows.find(key_of(e.guess));
@@ -278,12 +281,13 @@ std::string attribution_table(const AttributionReport& report) {
     return std::string(buf);
   };
   util::Table t({"process", "site", "forks", "spec", "safe", "seq", "hits",
-                 "misses", "roots", "caused", "wasted_ms", "saved_ms",
-                 "net_ms"});
+                 "misses", "forgiven", "roots", "caused", "wasted_ms",
+                 "saved_ms", "net_ms"});
   for (const auto& s : report.sites) {
     t.row(s.name, s.site, s.forks, s.speculative, s.safe_elided,
-          s.sequential, s.hits, s.misses, s.aborts_root, s.aborts_caused,
-          ms(s.wasted_downstream_ns), ms(s.saved_ns), ms(s.net_ns()));
+          s.sequential, s.hits, s.misses, s.commute_commits, s.aborts_root,
+          s.aborts_caused, ms(s.wasted_downstream_ns), ms(s.saved_ns),
+          ms(s.net_ns()));
   }
   std::string out = "Speculation scorecards (best net profit first):\n" +
                     t.to_string();

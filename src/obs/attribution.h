@@ -42,6 +42,10 @@ struct SiteScorecard {
   std::uint64_t hits = 0;    ///< kGuessVerified
   std::uint64_t misses = 0;  ///< kGuessFailed
   std::uint64_t commits = 0;
+  /// Commits whose verification forgave a mismatch under commute
+  /// verification (kCommuteCommit); subset of `commits`, and of `misses` —
+  /// a forgiven miss still records kGuessFailed for the predictors.
+  std::uint64_t commute_commits = 0;
 
   /// Root aborts originating here (value/time fault, timeout).
   std::uint64_t aborts_root = 0;

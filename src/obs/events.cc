@@ -63,6 +63,8 @@ const char* to_string(EventKind k) {
       return "thread-resolved";
     case EventKind::kProcessCompleted:
       return "process-completed";
+    case EventKind::kCommuteCommit:
+      return "commute-commit";
   }
   return "?";
 }

@@ -52,8 +52,11 @@ enum class EventKind : std::uint8_t {
                        ///< (phase kDoneWaitGuard)
   kThreadResolved,     ///< a kThreadBlocked thread's guard emptied
   kProcessCompleted,   ///< the process ran to completion
+  kCommuteCommit,      ///< join forgave a guess mismatch under commute
+                       ///< verification (variables dead / boolean-only in
+                       ///< the right thread); a = variables forgiven
 };
-inline constexpr std::size_t kEventKindCount = 25;
+inline constexpr std::size_t kEventKindCount = 26;
 
 enum class AbortReason : std::uint8_t {
   kNone,

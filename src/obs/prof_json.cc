@@ -87,6 +87,7 @@ void write_prof_json(const RunProfile& profile,
     w.key("hits").value(s.hits);
     w.key("misses").value(s.misses);
     w.key("commits").value(s.commits);
+    w.key("commute_commits").value(s.commute_commits);
     w.key("aborts_root").value(s.aborts_root);
     w.key("aborts_caused").value(s.aborts_caused);
     w.key("wasted_downstream_ns").value(s.wasted_downstream_ns);

@@ -63,6 +63,29 @@ struct SpecConfig {
   bool safe_site_oracle = false;
 #endif
 
+  /// Commit-on-commute verification: honor the per-variable VerifyModes the
+  /// reclassifier attached to fork sites (ForkStmt::verify).  A guess
+  /// mismatch on a variable proven dead in the right thread always
+  /// forgives; a boolean-only variable forgives when guess and actual agree
+  /// on truthiness.  Defaults on — without annotations (the default
+  /// program shape) the flag is inert and semantics are the paper's exact
+  /// equality.
+  bool commute_verification = true;
+
+  /// Soundness oracle for commit-on-commute: re-derive each annotated
+  /// variable's use class over the fork's right thread at fork time and
+  /// drop (count in stats.commute_oracle_violations) any annotation the
+  /// static proof no longer supports — a stale or forged VerifyMode after
+  /// a program rewrite.  The trace-level half of the oracle lives in
+  /// tests/commute_oracle_test: every run with forgiven joins must match
+  /// the sequential replay's observable trace.  Defaults on in debug
+  /// builds, like safe_site_oracle.
+#ifndef NDEBUG
+  bool commute_oracle = true;
+#else
+  bool commute_oracle = false;
+#endif
+
   /// Left-thread timeout guarding against S1 divergence (section 3.3).
   sim::Time fork_timeout = sim::milliseconds(1000);
 

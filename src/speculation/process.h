@@ -88,6 +88,13 @@ struct ThreadCtx {
   std::string join_site;
   std::vector<std::string> join_passed;
   std::map<std::string, csp::Value> join_guessed;
+  /// Per-variable verification relaxation of the forked site
+  /// (ForkStmt::verify), honored by the join when
+  /// SpecConfig::commute_verification is on.
+  std::map<std::string, csp::VerifyMode> join_verify;
+  /// Mismatched-but-forgiven variables found by this join's verification;
+  /// counted as a commute commit only if the guess actually commits.
+  std::uint64_t join_forgiven = 0;
   csp::Machine join_right_initial;  ///< right thread's start machine, for
                                     ///< re-execution after an abort
   bool join_guess_aborted = false;

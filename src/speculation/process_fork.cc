@@ -8,6 +8,7 @@
 // the parent's at the fork point in every mode, so optimistic and
 // pessimistic executions of the same program observe identical random
 // draws (a prerequisite for the Theorem 1 trace-equality tests).
+#include "analysis/commute.h"
 #include "speculation/process.h"
 #include "speculation/runtime.h"
 #include "util/check.h"
@@ -64,8 +65,36 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   t.join_site = f.site;
   t.join_passed = f.passed;
   t.join_guessed.clear();
+  t.join_verify = f.verify;
+  t.join_forgiven = 0;
   t.join_guess_aborted = false;
   t.join_safe = false;
+
+  // Commit-on-commute oracle: re-derive each annotated variable's use class
+  // over the right thread's statement tree and drop any VerifyMode the
+  // static proof no longer supports (a stale annotation after a rewrite
+  // would make forgiveness unsound).  The dropped variable falls back to
+  // exact verification, so the run itself stays correct either way.
+  if (config_.commute_oracle && !t.join_verify.empty()) {
+    for (auto it = t.join_verify.begin(); it != t.join_verify.end();) {
+      const analysis::UseClass uc = analysis::use_of(f.right, it->first);
+      const bool supported =
+          (it->second == csp::VerifyMode::kDead &&
+           uc == analysis::UseClass::kUnused) ||
+          (it->second == csp::VerifyMode::kBoolean &&
+           uc != analysis::UseClass::kValueUsed);
+      if (supported) {
+        ++it;
+      } else {
+        ++stats_.commute_oracle_violations;
+        OCSP_WLOG << "commute oracle: annotation verify="
+                  << csp::to_string(it->second) << " for '" << it->first
+                  << "' at site " << f.site << " is unsupported (use class "
+                  << analysis::to_string(uc) << "); reverting to exact";
+        it = t.join_verify.erase(it);
+      }
+    }
+  }
 
   if (safe_fast_path) {
     ++stats_.safe_forks;
@@ -284,25 +313,50 @@ void SpeculativeProcess::do_join_inner(ThreadCtx& left) {
   // guesses (the verifier of section 4.2.5).  Accuracy is recorded even
   // when the guess already died from a timeout or cascade: prediction
   // quality is independent of the guess's fate.
+  //
+  // Commit-on-commute relaxation: a mismatch on a variable whose VerifyMode
+  // proves it dead in the right thread always forgives; a boolean-only
+  // variable forgives when guess and actual agree on truthiness (the right
+  // thread took the same branches either way).  Raw mismatches still feed
+  // the predictor caches and the guess-failed event — prediction quality is
+  // a property of the predictor, not of what the verifier tolerates.
   bool value_fault = false;
+  std::uint64_t forgiven = 0;
   for (const auto& v : left.join_passed) {
     const csp::Value actual = left.machine.env().get_or(v, csp::Value());
     predictors_.observe(left.join_site, v, actual);
     if (!sequential) {
-      const bool hit = actual == left.join_guessed.at(v);
+      const csp::Value& guessed = left.join_guessed.at(v);
+      const bool hit = actual == guessed;
       predictors_.record_result(left.join_site, v, hit);
-      if (!hit) value_fault = true;
+      if (hit) continue;
+      csp::VerifyMode mode = csp::VerifyMode::kExact;
+      if (config_.commute_verification) {
+        auto vm = left.join_verify.find(v);
+        if (vm != left.join_verify.end()) mode = vm->second;
+      }
+      const bool forgive =
+          mode == csp::VerifyMode::kDead ||
+          (mode == csp::VerifyMode::kBoolean &&
+           actual.truthy() == guessed.truthy());
+      if (forgive) {
+        ++forgiven;
+      } else {
+        value_fault = true;
+      }
     }
   }
   if (!sequential) {
-    obs::Event ge = make_event(value_fault ? obs::EventKind::kGuessFailed
-                                           : obs::EventKind::kGuessVerified);
+    const bool raw_fault = value_fault || forgiven != 0;
+    obs::Event ge = make_event(raw_fault ? obs::EventKind::kGuessFailed
+                                         : obs::EventKind::kGuessVerified);
     ge.thread = left.index;
     ge.guess = guess_ref(left.join_guess);
     ge.detail = left.join_site;
     recorder().record(std::move(ge));
-    ++live_metrics_.counter(value_fault ? "guesses_failed"
-                                        : "guesses_verified");
+    ++live_metrics_.counter(raw_fault ? "guesses_failed"
+                                      : "guesses_verified");
+    left.join_forgiven = value_fault ? 0 : forgiven;
   }
 
   if (sequential || left.join_guess_aborted) {
@@ -385,6 +439,20 @@ void SpeculativeProcess::finalize_join_commit(ThreadCtx& left) {
     ce.guess = guess_ref(guess);
     ce.detail = left.join_site;
     recorder().record(std::move(ce));
+  }
+  if (left.join_forgiven != 0) {
+    // The verifier found mismatched guesses but every one was forgiven by
+    // its VerifyMode: this commit exists only because of the relaxation.
+    ++stats_.commute_commits;
+    stats_.commute_forgiven_vars += left.join_forgiven;
+    obs::Event ce = make_event(obs::EventKind::kCommuteCommit);
+    ce.thread = left.index;
+    ce.guess = guess_ref(guess);
+    ce.a = left.join_forgiven;
+    ce.detail = left.join_site;
+    recorder().record(std::move(ce));
+    ++live_metrics_.counter("commute_commits");
+    left.join_forgiven = 0;
   }
   site_aborts_[left.join_site] = 0;
   left.phase = ThreadCtx::Phase::kTerminated;

@@ -11,6 +11,9 @@ std::string SpecStats::to_string() const {
   os << "forks=" << forks << " (seq=" << sequential_forks
      << " safe=" << safe_forks << ")"
      << " joins=" << joins << " commits=" << commits
+     << " commute[commits=" << commute_commits
+     << " vars=" << commute_forgiven_vars
+     << " oracle=" << commute_oracle_violations << "]"
      << " aborts[value=" << aborts_value_fault
      << " time=" << aborts_time_fault << " timeout=" << aborts_timeout
      << " cascade=" << aborts_cascade << "]"
@@ -34,6 +37,9 @@ void SpecStats::export_to(obs::MetricsRegistry& m) const {
   m.counter("safe_oracle_violations") += safe_oracle_violations;
   m.counter("joins") += joins;
   m.counter("commits") += commits;
+  m.counter("commute_commits") += commute_commits;
+  m.counter("commute_forgiven_vars") += commute_forgiven_vars;
+  m.counter("commute_oracle_violations") += commute_oracle_violations;
   m.counter("aborts_value_fault") += aborts_value_fault;
   m.counter("aborts_time_fault") += aborts_time_fault;
   m.counter("aborts_timeout") += aborts_timeout;

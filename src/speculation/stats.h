@@ -21,6 +21,15 @@ struct SpecStats {
                                              ///< the debug oracle
   std::uint64_t joins = 0;
   std::uint64_t commits = 0;
+  /// Joins whose guess verification failed exact equality but committed
+  /// anyway under commit-on-commute (every mismatched variable's VerifyMode
+  /// forgave it).  Subset of `commits`.
+  std::uint64_t commute_commits = 0;
+  /// Mismatched variables forgiven across all commute commits.
+  std::uint64_t commute_forgiven_vars = 0;
+  /// VerifyMode annotations rejected by the fork-time use-class oracle
+  /// (SpecConfig::commute_oracle): the static proof no longer holds.
+  std::uint64_t commute_oracle_violations = 0;
   std::uint64_t aborts_value_fault = 0;
   std::uint64_t aborts_time_fault = 0;
   std::uint64_t aborts_timeout = 0;
@@ -72,6 +81,9 @@ struct SpecStats {
     safe_oracle_violations += o.safe_oracle_violations;
     joins += o.joins;
     commits += o.commits;
+    commute_commits += o.commute_commits;
+    commute_forgiven_vars += o.commute_forgiven_vars;
+    commute_oracle_violations += o.commute_oracle_violations;
     aborts_value_fault += o.aborts_value_fault;
     aborts_time_fault += o.aborts_time_fault;
     aborts_timeout += o.aborts_timeout;

@@ -1,0 +1,228 @@
+#include "transform/reclassify.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/effects.h"
+#include "csp/visit.h"
+
+namespace ocsp::transform {
+
+namespace {
+
+using analysis::CommEffects;
+using analysis::ForkClass;
+
+/// Every call in `stmt` producing `v` has a static destination and a
+/// commutativity summary, and at least one such call exists.  The verify
+/// relaxation is scoped to replies of summarized service ops; plain local
+/// assignments or unsummarized calls keep exact verification.
+bool produced_by_summarized_call(const csp::Stmt* stmt, const std::string& v,
+                                 const analysis::CommuteContext& ctx) {
+  bool found = false;
+  bool all_summarized = true;
+  csp::visit_preorder(stmt, [&](const csp::Stmt& s) {
+    if (s.kind != csp::StmtKind::kCall) return;
+    const auto& c = static_cast<const csp::CallStmt&>(s);
+    if (c.result_var != v) return;
+    found = true;
+    if (c.target_expr || ctx.summaries.lookup(c.target, c.op) == nullptr) {
+      all_summarized = false;
+    }
+  });
+  return found && all_summarized;
+}
+
+class Rewriter {
+ public:
+  Rewriter(ReclassifyResult& result, const ReclassifyOptions& opts)
+      : result_(result), opts_(opts) {}
+
+  /// `cont` summarizes the enclosing continuation's effects (classifier
+  /// input); `cont_stmts` is the same continuation as an ordered statement
+  /// list (use-class input — statement order lets a must-write kill later
+  /// reads, which plain effect sets cannot express).  A While body's
+  /// continuation is the While itself: re-evaluating the loop covers both
+  /// the condition and all later iterations.
+  csp::StmtPtr rewrite(const csp::StmtPtr& stmt, const CommEffects& cont,
+                       const std::vector<csp::StmtPtr>& cont_stmts) {
+    if (!stmt) return stmt;
+    using csp::StmtKind;
+    switch (stmt->kind) {
+      case StmtKind::kSeq:
+        return rewrite_seq(stmt, cont, cont_stmts);
+      case StmtKind::kWhile: {
+        const auto& s = static_cast<const csp::WhileStmt&>(*stmt);
+        CommEffects next = analysis::analyze_effects(s.body);
+        s.cond->collect_reads(next.reads);
+        next.merge_seq(cont);
+        next.drop_must();
+        std::vector<csp::StmtPtr> next_stmts;
+        next_stmts.push_back(stmt);
+        next_stmts.insert(next_stmts.end(), cont_stmts.begin(),
+                          cont_stmts.end());
+        return csp::rewrite_children(stmt, [&](const csp::StmtPtr& child) {
+          return rewrite(child, next, next_stmts);
+        });
+      }
+      case StmtKind::kFork:
+        return rewrite_fork(stmt, cont, cont_stmts);
+      default:
+        return csp::rewrite_children(stmt, [&](const csp::StmtPtr& child) {
+          return rewrite(child, cont, cont_stmts);
+        });
+    }
+  }
+
+ private:
+  csp::StmtPtr rewrite_seq(const csp::StmtPtr& stmt, const CommEffects& cont,
+                           const std::vector<csp::StmtPtr>& cont_stmts) {
+    const auto& seq = static_cast<const csp::SeqStmt&>(*stmt);
+    const auto& in = seq.body;
+    // suffix[i] = static effects of in[i..end); the classifier needs the
+    // continuation each child's hypothetical right thread would run.
+    std::vector<CommEffects> suffix(in.size() + 1);
+    for (std::size_t i = in.size(); i-- > 0;) {
+      suffix[i] = analysis::analyze_effects(in[i]);
+      suffix[i].merge_seq(suffix[i + 1]);
+    }
+    std::vector<csp::StmtPtr> out;
+    out.reserve(in.size());
+    bool changed = false;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      CommEffects child_cont = suffix[i + 1];
+      child_cont.merge_seq(cont);
+      std::vector<csp::StmtPtr> child_stmts(in.begin() + i + 1, in.end());
+      child_stmts.insert(child_stmts.end(), cont_stmts.begin(),
+                         cont_stmts.end());
+      csp::StmtPtr r = rewrite(in[i], child_cont, child_stmts);
+      changed |= r != in[i];
+      out.push_back(std::move(r));
+    }
+    if (!changed) return stmt;
+    return csp::seq(std::move(out));
+  }
+
+  csp::StmtPtr rewrite_fork(const csp::StmtPtr& stmt, const CommEffects& cont,
+                            const std::vector<csp::StmtPtr>& cont_stmts) {
+    const auto& f = static_cast<const csp::ForkStmt&>(*stmt);
+    // The left thread ends at the join; only the right continues.
+    csp::StmtPtr left = rewrite(f.left, CommEffects{}, {});
+    csp::StmtPtr right = rewrite(f.right, cont, cont_stmts);
+
+    if (opts_.commute == nullptr || f.mode != csp::ForkMode::kSpeculative) {
+      return rebuild(stmt, f, std::move(left), std::move(right), f.mode,
+                     f.passed, f.predictors, f.verify, f.needs_copy);
+    }
+
+    // Re-classify the transformed split in automatic mode: the analyzer
+    // decides from effects alone whether the guard machinery is needed,
+    // with the commutativity widening in force.
+    std::vector<analysis::Finding> scratch;
+    const analysis::SiteReport rep =
+        analysis::classify_split(left, right, cont, /*declared=*/{}, f.site,
+                                 /*from_hint=*/false, scratch, opts_.commute);
+
+    if (opts_.upgrade_safe && rep.cls == ForkClass::kSafe) {
+      ++result_.upgraded;
+      analysis::Finding fd;
+      fd.site = f.site;
+      fd.cls = ForkClass::kSafe;
+      fd.severity = analysis::Severity::kInfo;
+      fd.code = "upgraded-to-safe";
+      fd.message =
+          "speculative fork re-classified SAFE after transformation; "
+          "rebuilt with mode=safe (guesses, guards, and state copy elided)";
+      fd.suggested_mode = "safe";
+      for (const auto& sf : scratch) {
+        if (!sf.commutativity.empty()) {
+          fd.commutativity = sf.commutativity;
+          break;
+        }
+      }
+      result_.findings.push_back(std::move(fd));
+      return rebuild(stmt, f, std::move(left), std::move(right),
+                     csp::ForkMode::kSafe, {}, {}, {}, /*needs_copy=*/false);
+    }
+
+    std::map<std::string, csp::VerifyMode> verify = f.verify;
+    if (opts_.annotate_verify) {
+      for (const auto& v : f.passed) {
+        if (!produced_by_summarized_call(left.get(), v, *opts_.commute)) {
+          continue;
+        }
+        // The full downstream path: right thread, then the enclosing
+        // continuation (later Seq suffixes, re-entered loops).  The ordered
+        // walk lets a must-write in the right thread kill continuation
+        // reads — the common streaming shape, where each iteration rewrites
+        // the reply variable before the next one reads it.
+        std::vector<csp::StmtPtr> path;
+        path.reserve(1 + cont_stmts.size());
+        path.push_back(right);
+        path.insert(path.end(), cont_stmts.begin(), cont_stmts.end());
+        const analysis::UseClass uc = analysis::use_of(path, v);
+        const csp::VerifyMode mode = analysis::verify_mode_for(uc);
+        if (mode == csp::VerifyMode::kExact) continue;
+        auto it = f.verify.find(v);
+        if (it != f.verify.end() && it->second == mode) continue;
+        verify[v] = mode;
+        ++result_.annotated;
+        analysis::Finding fd;
+        fd.site = f.site;
+        fd.severity = analysis::Severity::kInfo;
+        fd.code = "verify-relaxed";
+        fd.message = "passed variable '" + v + "' is " +
+                     std::string(analysis::to_string(uc)) +
+                     " in the right thread; a guess mismatch can commit "
+                     "instead of aborting (verify=" +
+                     std::string(csp::to_string(mode)) + ")";
+        fd.commutativity =
+            "reply of a summarized op; use-class analysis bounds its "
+            "influence on the right thread";
+        result_.findings.push_back(std::move(fd));
+      }
+    }
+    return rebuild(stmt, f, std::move(left), std::move(right), f.mode,
+                   f.passed, f.predictors, verify, f.needs_copy);
+  }
+
+  /// Rebuild the fork only when something changed, preserving sharing.
+  static csp::StmtPtr rebuild(
+      const csp::StmtPtr& original, const csp::ForkStmt& f, csp::StmtPtr left,
+      csp::StmtPtr right, csp::ForkMode mode, std::vector<std::string> passed,
+      std::map<std::string, csp::PredictorSpec> predictors,
+      std::map<std::string, csp::VerifyMode> verify, bool needs_copy) {
+    const bool same =
+        left == f.left && right == f.right && mode == f.mode &&
+        passed == f.passed && predictors.size() == f.predictors.size() &&
+        verify == f.verify && needs_copy == f.needs_copy;
+    if (same) return original;
+    auto nf = std::make_shared<csp::ForkStmt>(f);
+    nf->left = std::move(left);
+    nf->right = std::move(right);
+    nf->mode = mode;
+    nf->passed = std::move(passed);
+    nf->predictors = std::move(predictors);
+    nf->verify = std::move(verify);
+    nf->needs_copy = needs_copy;
+    return nf;
+  }
+
+  ReclassifyResult& result_;
+  const ReclassifyOptions& opts_;
+};
+
+}  // namespace
+
+ReclassifyResult reclassify(const csp::StmtPtr& program,
+                            const ReclassifyOptions& options) {
+  ReclassifyResult result;
+  result.program =
+      Rewriter(result, options).rewrite(program, CommEffects{}, {});
+  return result;
+}
+
+}  // namespace ocsp::transform

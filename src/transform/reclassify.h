@@ -1,0 +1,58 @@
+// Post-transform reclassification: make elidable-site findings actionable.
+//
+// Fork insertion and call streaming classify each site as they create it,
+// but the classification they run is per-process and commutativity-blind:
+// a streamed call whose continuation contacts the same server again is
+// always SPECULATIVE.  This pass re-runs the interference analyzer over the
+// *transformed* tree with a cross-process CommuteContext
+// (analysis/commute.h) and applies what the analyzer proves:
+//
+//   * upgrade  — a speculative fork that now classifies SAFE is rebuilt
+//     with ForkMode::kSafe (passed set, predictors, and state copy
+//     dropped), eliding the guard machinery the lint's elidable-site
+//     finding pointed at;
+//   * annotate — a fork that stays speculative gets per-passed-variable
+//     VerifyModes: a use-class analysis over the right thread proves a
+//     reply value dead or boolean-only, licensing the verifier to commit
+//     on a guess mismatch instead of aborting
+//     (SpecConfig::commute_verification).
+//
+// The pass is idempotent and purely attenuating: it never turns a safe
+// fork speculative, never adds passed variables, and never relaxes a
+// variable whose producing call is not covered by a commutativity summary.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/commute.h"
+#include "csp/program.h"
+
+namespace ocsp::transform {
+
+struct ReclassifyOptions {
+  /// Cross-process commutativity context; null disables both the SAFE
+  /// widening and the verify-mode annotation (the pass is then a no-op).
+  const analysis::CommuteContext* commute = nullptr;
+  /// Rebuild speculative forks that classify SAFE as ForkMode::kSafe.
+  bool upgrade_safe = true;
+  /// Attach VerifyModes to passed variables proven dead / boolean-only.
+  bool annotate_verify = true;
+};
+
+struct ReclassifyResult {
+  csp::StmtPtr program;
+  /// Speculative forks rebuilt as ForkMode::kSafe.
+  std::size_t upgraded = 0;
+  /// Passed variables annotated with a relaxed VerifyMode (kDead/kBoolean).
+  std::size_t annotated = 0;
+  /// Info findings describing every applied change ("upgraded-to-safe",
+  /// "verify-relaxed"), plus anything the re-run classifier reported.
+  std::vector<analysis::Finding> findings;
+};
+
+ReclassifyResult reclassify(const csp::StmtPtr& program,
+                            const ReclassifyOptions& options = {});
+
+}  // namespace ocsp::transform

@@ -5,6 +5,7 @@
 //   csp::StmtPtr program = ...;                       // sequential source
 //   program = transform::insert_forks(program).program;   // expand hints
 //   program = transform::stream_calls(program).program;   // call streaming
+//   program = transform::reclassify(program, {&ctx}).program;  // commute
 //   runtime.add_process("X", program);
 //
 // Both passes are semantics-preserving under the optimistic protocol: the
@@ -14,4 +15,5 @@
 
 #include "transform/analysis.h"
 #include "transform/fork_insertion.h"
+#include "transform/reclassify.h"
 #include "transform/streaming.h"

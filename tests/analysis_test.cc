@@ -318,6 +318,33 @@ TEST(ProgramReport, ElidableSpeculativeForkGetsInfoFinding) {
   EXPECT_FALSE(rep.has_errors());
 }
 
+// The elidable-site finding must carry the concrete fork-mode change and
+// survive the JSON round trip, so downstream tooling can apply it without
+// re-deriving the classification.
+TEST(ProgramReport, ElidableSiteSuggestedModeRoundTrips) {
+  auto f = csp::fork(call("A", "Op", {}, "ra"),
+                     call("B", "Op", {}, "rb"), {}, {}, "elidable");
+  ProgramReport rep = analyze_program(seq({f}), "elide");
+  const Finding* fd = find_code(rep.findings, "elidable-site");
+  ASSERT_NE(fd, nullptr);
+  EXPECT_EQ(fd->suggested_mode, "safe");
+  EXPECT_NE(fd->suggestion.find("reclassify"), std::string::npos);
+
+  util::JsonWriter w;
+  rep.write_json(w);
+  auto parsed = util::json_parse(w.str());
+  ASSERT_TRUE(parsed.has_value());
+  const util::JsonValue* findings = parsed->find("findings");
+  ASSERT_NE(findings, nullptr);
+  bool saw = false;
+  for (const auto& j : findings->array) {
+    if (j.find("code")->string != "elidable-site") continue;
+    saw = true;
+    EXPECT_EQ(j.find("suggested_mode")->string, "safe");
+  }
+  EXPECT_TRUE(saw);
+}
+
 TEST(ProgramReport, JsonRoundTrips) {
   auto prog = seq({
       call("A", "Op", {}, "ra"),

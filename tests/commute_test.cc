@@ -1,0 +1,371 @@
+// Unit tests for the commutativity-summary lattice (analysis/commute.h):
+// lattice laws over every level triple, op/footprint compatibility,
+// summary inference from service_loop dispatch arms, the use-class
+// analysis behind the verification relaxation, the classifier's
+// cross-process SAFE widening, and the transform::reclassify pass that
+// applies both.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/commute.h"
+#include "analysis/effects.h"
+#include "csp/service.h"
+#include "csp/visit.h"
+#include "transform/transform.h"
+
+namespace ocsp::analysis {
+namespace {
+
+using csp::arg;
+using csp::assign;
+using csp::call;
+using csp::CommLevel;
+using csp::if_;
+using csp::lit;
+using csp::OpCommSpec;
+using csp::print;
+using csp::reply;
+using csp::send;
+using csp::seq;
+using csp::Value;
+using csp::var;
+using csp::VerifyMode;
+using csp::while_;
+
+constexpr std::array<CommLevel, 4> kLevels = {
+    CommLevel::kNone, CommLevel::kPure, CommLevel::kAbelian,
+    CommLevel::kMutate};
+
+// ---- Lattice laws ---------------------------------------------------------
+
+TEST(CommLattice, JoinMeetAreBoundsAndMonotone) {
+  // The level set is tiny, so check the lattice laws over EVERY pair and
+  // the monotonicity laws over EVERY triple — stronger than sampling.
+  for (CommLevel a : kLevels) {
+    EXPECT_TRUE(comm_leq(a, a));
+    EXPECT_EQ(comm_join(a, a), a);
+    EXPECT_EQ(comm_meet(a, a), a);
+    for (CommLevel b : kLevels) {
+      // join is an upper bound, meet a lower bound, both commutative.
+      EXPECT_TRUE(comm_leq(a, comm_join(a, b)));
+      EXPECT_TRUE(comm_leq(b, comm_join(a, b)));
+      EXPECT_TRUE(comm_leq(comm_meet(a, b), a));
+      EXPECT_TRUE(comm_leq(comm_meet(a, b), b));
+      EXPECT_EQ(comm_join(a, b), comm_join(b, a));
+      EXPECT_EQ(comm_meet(a, b), comm_meet(b, a));
+      // antisymmetry
+      if (comm_leq(a, b) && comm_leq(b, a)) {
+        EXPECT_EQ(a, b);
+      }
+      for (CommLevel c : kLevels) {
+        // transitivity
+        if (comm_leq(a, b) && comm_leq(b, c)) {
+          EXPECT_TRUE(comm_leq(a, c));
+        }
+        // join/meet monotone in each argument
+        if (comm_leq(a, b)) {
+          EXPECT_TRUE(comm_leq(comm_join(a, c), comm_join(b, c)));
+          EXPECT_TRUE(comm_leq(comm_meet(a, c), comm_meet(b, c)));
+        }
+      }
+    }
+  }
+}
+
+TEST(CommLattice, CompatIsSymmetricAndAntitone) {
+  for (CommLevel a : kLevels) {
+    for (CommLevel b : kLevels) {
+      EXPECT_EQ(level_compat(a, b), level_compat(b, a));
+      // Lowering either side never turns a compatible pair incompatible.
+      for (CommLevel c : kLevels) {
+        if (comm_leq(c, a) && level_compat(a, b)) {
+          EXPECT_TRUE(level_compat(c, b))
+              << to_string(c) << " vs " << to_string(b);
+        }
+      }
+    }
+  }
+  // The diamond's defining facts.
+  EXPECT_TRUE(level_compat(CommLevel::kPure, CommLevel::kPure));
+  EXPECT_TRUE(level_compat(CommLevel::kAbelian, CommLevel::kAbelian));
+  EXPECT_FALSE(level_compat(CommLevel::kPure, CommLevel::kAbelian));
+  EXPECT_FALSE(level_compat(CommLevel::kAbelian, CommLevel::kMutate));
+  EXPECT_TRUE(level_compat(CommLevel::kNone, CommLevel::kMutate));
+}
+
+TEST(CommLattice, OpsCommuteByDisjointnessOrCompatLevels) {
+  const OpCommSpec add{{"count"}, CommLevel::kAbelian};
+  const OpCommSpec note{{"notes"}, CommLevel::kAbelian};
+  const OpCommSpec stamp{{"stamps"}, CommLevel::kMutate};
+  const OpCommSpec peek{{"count"}, CommLevel::kPure};
+  EXPECT_TRUE(ops_commute(add, add));        // abelian on the same group
+  EXPECT_TRUE(ops_commute(add, note));       // disjoint groups
+  EXPECT_TRUE(ops_commute(add, stamp));      // disjoint groups
+  EXPECT_FALSE(ops_commute(stamp, stamp));   // mutate never self-commutes
+  EXPECT_FALSE(ops_commute(add, peek));      // reader sees partial sums
+  EXPECT_TRUE(ops_commute(peek, peek));      // pure reads commute
+}
+
+// ---- Summary inference ----------------------------------------------------
+
+csp::StmtPtr registry_program(bool with_stamp = true) {
+  std::map<std::string, csp::StmtPtr> handlers;
+  handlers["Add"] = seq({
+      assign("count", csp::add(var("count"), arg(0))),
+      reply(lit(Value(true))),
+  });
+  handlers["Note"] = assign("notes", csp::add(var("notes"), arg(0)));
+  if (with_stamp) {
+    handlers["Stamp"] = seq({
+        assign("stamps", csp::add(var("stamps"), lit(Value(1)))),
+        reply(var("stamps")),
+    });
+  }
+  return csp::service_loop(std::move(handlers));
+}
+
+TEST(InferSummaries, RegistryArmsSpanTheLattice) {
+  const csp::CommDecls decls = infer_summaries(registry_program());
+  ASSERT_EQ(decls.count("Add"), 1u);
+  EXPECT_EQ(decls.at("Add").level, CommLevel::kAbelian);
+  EXPECT_EQ(decls.at("Add").groups, std::vector<std::string>{"count"});
+
+  ASSERT_EQ(decls.count("Note"), 1u);  // one-way: no reply to order
+  EXPECT_EQ(decls.at("Note").level, CommLevel::kAbelian);
+
+  ASSERT_EQ(decls.count("Stamp"), 1u);
+  // The abelian update is spoiled by the non-constant reply: callers can
+  // observe the order through the returned total.
+  EXPECT_EQ(decls.at("Stamp").level, CommLevel::kMutate);
+}
+
+TEST(InferSummaries, DownstreamEffectsDisqualifyAnArm) {
+  std::map<std::string, csp::StmtPtr> handlers;
+  handlers["Relay"] = seq({
+      call("Z", "Fwd", {arg(0)}, "f"),
+      reply(var("f")),
+  });
+  handlers["Log"] = print(arg(0));
+  const csp::CommDecls decls = infer_summaries(csp::service_loop(handlers));
+  EXPECT_EQ(decls.count("Relay"), 0u);  // downstream call: not local
+  EXPECT_EQ(decls.count("Log"), 0u);    // external output
+}
+
+TEST(BuildCommuteContext, DeclarationsWinOverInference) {
+  // Inference says Stamp is kMutate; a declaration can assert better
+  // (e.g. the native implementation is known commutative).
+  csp::CommDecls declared;
+  declared["Stamp"] = OpCommSpec{{"stamps"}, CommLevel::kAbelian};
+  const CommuteContext ctx = build_commute_context(
+      {{"R", registry_program(), declared},
+       {"C", seq({call("R", "Stamp", {}, "s"), print(var("s"))}), {}}},
+      "C");
+  const OpCommSpec* spec = ctx.summaries.lookup("R", "Stamp");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->level, CommLevel::kAbelian);
+  // Peer op tracking: C itself is excluded later, but its ops are known.
+  ASSERT_EQ(ctx.peer_ops.count("C"), 1u);
+  EXPECT_EQ(ctx.peer_ops.at("C").at("R"), std::set<std::string>{"Stamp"});
+}
+
+// ---- Use-class analysis ---------------------------------------------------
+
+TEST(UseClass, OrderedKillsAndBooleanContexts) {
+  // Dead: never read again.
+  EXPECT_EQ(use_of(seq({send("S", "Op", {lit(Value(1))})}), "v"),
+            UseClass::kUnused);
+  // Boolean-only: an If condition.
+  EXPECT_EQ(use_of(if_(var("v"), assign("x", lit(Value(1)))), "v"),
+            UseClass::kBooleanOnly);
+  // Value use: printed.
+  EXPECT_EQ(use_of(print(var("v")), "v"), UseClass::kValueUsed);
+  // A must-write kills later reads on the path...
+  EXPECT_EQ(use_of(seq({assign("v", lit(Value(0))), print(var("v"))}), "v"),
+            UseClass::kUnused);
+  EXPECT_EQ(use_of(seq({call("S", "Op", {}, "v"), print(var("v"))}), "v"),
+            UseClass::kUnused);
+  // ...but a read before the kill still counts.
+  EXPECT_EQ(use_of(seq({if_(var("v"), csp::nop()), assign("v", lit(Value(0))),
+                        print(var("v"))}),
+                   "v"),
+            UseClass::kBooleanOnly);
+  // Loop bodies join conservatively (zero iterations possible: no kill).
+  EXPECT_EQ(
+      use_of(seq({while_(var("go"), seq({call("S", "Op", {}, "v"),
+                                         if_(var("v"), csp::nop())})),
+                  print(var("v"))}),
+             "v"),
+      UseClass::kValueUsed);
+  EXPECT_EQ(use_join(UseClass::kUnused, UseClass::kBooleanOnly),
+            UseClass::kBooleanOnly);
+  EXPECT_EQ(verify_mode_for(UseClass::kUnused), VerifyMode::kDead);
+  EXPECT_EQ(verify_mode_for(UseClass::kBooleanOnly), VerifyMode::kBoolean);
+  EXPECT_EQ(verify_mode_for(UseClass::kValueUsed), VerifyMode::kExact);
+}
+
+// ---- Cross-process SAFE widening ------------------------------------------
+
+CommuteContext two_client_ctx(const csp::StmtPtr& c0, const csp::StmtPtr& c1,
+                              bool with_stamp = true) {
+  return build_commute_context(
+      {{"R", registry_program(with_stamp), {}}, {"C0", c0, {}},
+       {"C1", c1, {}}},
+      "C0");
+}
+
+TEST(ClassifyWidening, SharedAbelianTargetClassifiesSafeWithContext) {
+  auto left = call("R", "Add", {lit(Value(1))}, "a");
+  auto right = seq({send("R", "Note", {lit(Value(2))}),
+                    print(lit(Value("done")))});
+  const CommuteContext ctx = two_client_ctx(seq({left, right}),
+                                            send("R", "Note", {lit(Value(3))}));
+  std::vector<Finding> findings;
+  SiteReport strict = classify_split(left, right, CommEffects{}, {}, "site",
+                                     false, findings, nullptr);
+  EXPECT_EQ(strict.cls, ForkClass::kSpeculative);  // shared target R
+
+  findings.clear();
+  SiteReport widened = classify_split(left, right, CommEffects{}, {}, "site",
+                                      false, findings, &ctx);
+  EXPECT_EQ(widened.cls, ForkClass::kSafe);
+  EXPECT_EQ(widened.commuting_targets, std::vector<std::string>{"R"});
+  const Finding* safe = nullptr;
+  for (const auto& f : findings) {
+    if (f.code == "commute-safe") safe = &f;
+  }
+  ASSERT_NE(safe, nullptr);
+  EXPECT_FALSE(safe->commutativity.empty());
+}
+
+TEST(ClassifyWidening, NonCommutingPeerOpBreaksTheProof) {
+  auto left = call("R", "Add", {lit(Value(1))}, "a");
+  auto right = seq({send("R", "Note", {lit(Value(2))}),
+                    print(lit(Value("done")))});
+  // The peer hammers Stamp (kMutate on {stamps}): disjoint from the
+  // halves' groups, so the proof still goes through...
+  const CommuteContext stamp_peer = two_client_ctx(
+      seq({left, right}), call("R", "Stamp", {}, "s"));
+  std::vector<Finding> findings;
+  EXPECT_EQ(classify_split(left, right, CommEffects{}, {}, "site", false,
+                           findings, &stamp_peer)
+                .cls,
+            ForkClass::kSafe);
+  // ...but a peer writing the same group ({count}, mutating) kills it.
+  csp::CommDecls declared;
+  declared["Smash"] = OpCommSpec{{"count"}, CommLevel::kMutate};
+  const CommuteContext smash_peer = build_commute_context(
+      {{"R", registry_program(), declared},
+       {"C0", seq({left, right}), {}},
+       {"C1", send("R", "Smash", {}), {}}},
+      "C0");
+  findings.clear();
+  EXPECT_EQ(classify_split(left, right, CommEffects{}, {}, "site", false,
+                           findings, &smash_peer)
+                .cls,
+            ForkClass::kSpeculative);
+}
+
+TEST(ClassifyWidening, MixedOpsReportPartialCommute) {
+  auto left = call("R", "Stamp", {}, "s");  // kMutate: cannot commute
+  auto right = seq({call("R", "Stamp", {}, "t"), print(var("t"))});
+  const CommuteContext ctx =
+      two_client_ctx(seq({left, right}), send("R", "Note", {lit(Value(1))}));
+  std::vector<Finding> findings;
+  SiteReport rep = classify_split(left, right, CommEffects{}, {}, "site",
+                                  false, findings, &ctx);
+  EXPECT_EQ(rep.cls, ForkClass::kSpeculative);
+  EXPECT_TRUE(rep.commuting_targets.empty());
+}
+
+// ---- transform::reclassify ------------------------------------------------
+
+csp::StmtPtr streamed_client(bool with_stamp) {
+  std::vector<csp::StmtPtr> body;
+  body.push_back(call("R", "Add", {lit(Value(1))}, "a"));
+  if (with_stamp) {
+    body.push_back(call("R", "Stamp", {}, "s"));
+    body.push_back(if_(var("s"), assign("x", csp::add(var("x"),
+                                                      lit(Value(1))))));
+  }
+  body.push_back(send("R", "Note", {var("i")}));
+  body.push_back(assign("i", csp::add(var("i"), lit(Value(1)))));
+  csp::StmtPtr client = seq({
+      assign("i", lit(Value(0))),
+      assign("x", lit(Value(0))),
+      while_(csp::lt(var("i"), lit(Value(3))), seq(std::move(body))),
+      print(var("x")),
+  });
+  transform::StreamingOptions opts;
+  opts.predictor = [](const csp::CallStmt&) {
+    return csp::PredictorSpec::always(Value(true));
+  };
+  return transform::stream_calls(client, opts).program;
+}
+
+std::size_t count_mode(const csp::StmtPtr& program, csp::ForkMode mode) {
+  std::size_t n = 0;
+  csp::visit_preorder(program.get(), [&](const csp::Stmt& s) {
+    if (s.kind == csp::StmtKind::kFork &&
+        static_cast<const csp::ForkStmt&>(s).mode == mode) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+TEST(Reclassify, UpgradesAbelianForksToSafe) {
+  csp::StmtPtr client = streamed_client(/*with_stamp=*/false);
+  const CommuteContext ctx =
+      two_client_ctx(client, client, /*with_stamp=*/false);
+  ASSERT_GT(count_mode(client, csp::ForkMode::kSpeculative), 0u);
+
+  transform::ReclassifyResult r = transform::reclassify(client, {&ctx});
+  EXPECT_GT(r.upgraded, 0u);
+  EXPECT_EQ(count_mode(r.program, csp::ForkMode::kSpeculative), 0u);
+  EXPECT_GT(count_mode(r.program, csp::ForkMode::kSafe), 0u);
+  bool saw = false;
+  for (const auto& f : r.findings) saw |= f.code == "upgraded-to-safe";
+  EXPECT_TRUE(saw);
+
+  // Idempotent: a second run finds nothing left to do.
+  transform::ReclassifyResult again =
+      transform::reclassify(r.program, {&ctx});
+  EXPECT_EQ(again.upgraded, 0u);
+  EXPECT_EQ(again.annotated, 0u);
+  EXPECT_EQ(again.program, r.program);  // shared, not copied
+}
+
+TEST(Reclassify, AnnotatesVerifyModesOnContendedForks) {
+  csp::StmtPtr client = streamed_client(/*with_stamp=*/true);
+  const CommuteContext ctx = two_client_ctx(client, client);
+  transform::ReclassifyResult r = transform::reclassify(client, {&ctx});
+  EXPECT_GT(r.annotated, 0u);
+
+  std::map<std::string, VerifyMode> modes;
+  csp::visit_preorder(r.program.get(), [&](const csp::Stmt& s) {
+    if (s.kind != csp::StmtKind::kFork) return;
+    for (const auto& [v, m] : static_cast<const csp::ForkStmt&>(s).verify) {
+      modes[v] = m;
+    }
+  });
+  // Add's reply is never read; Stamp's only drives a branch.
+  ASSERT_EQ(modes.count("a"), 1u);
+  EXPECT_EQ(modes.at("a"), VerifyMode::kDead);
+  ASSERT_EQ(modes.count("s"), 1u);
+  EXPECT_EQ(modes.at("s"), VerifyMode::kBoolean);
+}
+
+TEST(Reclassify, NullContextIsANoOp) {
+  csp::StmtPtr client = streamed_client(/*with_stamp=*/true);
+  transform::ReclassifyResult r = transform::reclassify(client, {});
+  EXPECT_EQ(r.program, client);
+  EXPECT_EQ(r.upgraded, 0u);
+  EXPECT_EQ(r.annotated, 0u);
+}
+
+}  // namespace
+}  // namespace ocsp::analysis

@@ -111,6 +111,21 @@ TEST(CowOracle, SafeFanoutElidedPath) {
   expect_strategies_agree(p, core::safe_fanout_scenario, "safe_fanout");
 }
 
+TEST(CowOracle, CommuteRegistryForgivenJoins) {
+  core::CommuteRegistryParams p;
+  p.clients = 3;
+  p.iterations = 5;
+  expect_strategies_agree(p, core::commute_registry_scenario,
+                          "commute_registry");
+}
+
+TEST(CowOracle, CommuteRegistryAbelianSafeUpgrades) {
+  core::CommuteRegistryParams p;
+  p.mutate_ops = false;
+  expect_strategies_agree(p, core::commute_registry_scenario,
+                          "commute_registry_abelian");
+}
+
 // The environments captured at checkpoints must be equal across the
 // strategies at every surviving checkpoint index — COW snapshots see
 // exactly the state the deep copies froze.

@@ -71,6 +71,7 @@ void expect_reconciled(const spec::Runtime& rt) {
   // total_aborts() counts primary faults only; cascades are tracked apart.
   EXPECT_EQ(rec.count(EventKind::kAbort),
             stats.total_aborts() + stats.aborts_cascade);
+  EXPECT_EQ(rec.count(EventKind::kCommuteCommit), stats.commute_commits);
 }
 
 TEST(ObsReconciliation, CleanWriteThroughRun) {

@@ -12,7 +12,14 @@
 //                                deliberately broken `broken_fixture`)
 //   ocsp_lint --list             list the available program names
 //   ocsp_lint --json=PATH        additionally write a machine-readable
-//                                report ({"schema":"ocsp-lint-v1",...})
+//                                report ({"schema":"ocsp-lint-v2",...})
+//   ocsp_lint --rerun-after-transforms
+//                                build each workload with its transforms
+//                                applied (fork insertion / call streaming),
+//                                run transform::reclassify with the
+//                                cross-process commutativity context, and
+//                                lint the result — elidable-site findings
+//                                become applied upgrades here
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -20,8 +27,10 @@
 #include <vector>
 
 #include "analysis/classify.h"
+#include "analysis/commute.h"
 #include "core/workloads.h"
 #include "csp/program.h"
+#include "transform/transform.h"
 #include "util/json.h"
 
 namespace ocsp {
@@ -31,16 +40,9 @@ using csp::Value;
 
 struct LintTarget {
   std::string name;
-  std::vector<std::pair<std::string, csp::StmtPtr>> processes;
+  baseline::Scenario scenario;
   bool fixture = false;  ///< excluded from the default (CI-clean) run
 };
-
-std::vector<std::pair<std::string, csp::StmtPtr>> scenario_processes(
-    const baseline::Scenario& s) {
-  std::vector<std::pair<std::string, csp::StmtPtr>> out;
-  for (const auto& p : s.processes) out.emplace_back(p.name, p.program);
-  return out;
-}
 
 /// A program exercising every refusal the classifier knows: a hint whose
 /// halves are certain to interfere, an automatic hint over an opaque native
@@ -61,62 +63,71 @@ csp::StmtPtr broken_fixture() {
   });
 }
 
-std::vector<LintTarget> registry() {
+/// `transformed` selects the post-transform trees: workloads that lint
+/// their declared hints by default (db_fs, safe_fanout) expand them, and
+/// the commute registry streams its calls.
+std::vector<LintTarget> registry(bool transformed) {
   std::vector<LintTarget> out;
 
   core::PutLineParams putline;
-  out.push_back({"putline",
-                 scenario_processes(core::putline_scenario(putline))});
+  out.push_back({"putline", core::putline_scenario(putline)});
 
   core::DbFsParams dbfs;
-  dbfs.transform = false;  // lint the declared hint, not the expanded fork
-  out.push_back({"db_fs", scenario_processes(core::db_fs_scenario(dbfs))});
+  dbfs.transform = transformed;  // default: lint the declared hint
+  out.push_back({"db_fs", core::db_fs_scenario(dbfs)});
 
   core::PipelineParams pipeline;
-  out.push_back({"pipeline",
-                 scenario_processes(core::pipeline_scenario(pipeline))});
+  out.push_back({"pipeline", core::pipeline_scenario(pipeline)});
 
   core::WriteThroughParams wt;
-  out.push_back(
-      {"write_through",
-       scenario_processes(core::write_through_scenario(wt))});
+  out.push_back({"write_through", core::write_through_scenario(wt)});
 
   core::MutualParams mutual;
-  out.push_back({"mutual",
-                 scenario_processes(core::mutual_scenario(mutual))});
+  out.push_back({"mutual", core::mutual_scenario(mutual)});
 
   core::SharedServerParams shared;
-  out.push_back(
-      {"shared_server",
-       scenario_processes(core::shared_server_scenario(shared))});
+  out.push_back({"shared_server", core::shared_server_scenario(shared)});
 
   core::SafeFanoutParams fanout;
-  fanout.transform = false;
-  out.push_back(
-      {"safe_fanout",
-       scenario_processes(core::safe_fanout_scenario(fanout))});
+  fanout.transform = transformed;
+  out.push_back({"safe_fanout", core::safe_fanout_scenario(fanout)});
 
-  out.push_back({"broken_fixture",
-                 {{"X", broken_fixture()}},
-                 /*fixture=*/true});
+  // The reclassify pass is what the rerun mode demonstrates, so the
+  // scenario builder must not have applied it already.
+  core::CommuteRegistryParams reg;
+  reg.stream = transformed;
+  reg.reclassify = false;
+  out.push_back({"commute_registry", core::commute_registry_scenario(reg)});
+
+  core::CommuteRegistryParams abelian = reg;
+  abelian.mutate_ops = false;
+  out.push_back({"commute_registry_abelian",
+                 core::commute_registry_scenario(abelian)});
+
+  baseline::Scenario broken;
+  broken.add("X", broken_fixture());
+  out.push_back({"broken_fixture", std::move(broken), /*fixture=*/true});
   return out;
 }
 
 int run(int argc, char** argv) {
   bool list = false;
+  bool rerun = false;
   std::string only;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
       list = true;
+    } else if (arg == "--rerun-after-transforms") {
+      rerun = true;
     } else if (arg.rfind("--program=", 0) == 0) {
       only = arg.substr(std::strlen("--program="));
     } else if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(std::strlen("--json="));
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: ocsp_lint [--list] [--program=NAME] "
-                  "[--json=PATH]\n");
+                  "[--json=PATH] [--rerun-after-transforms]\n");
       return 0;
     } else {
       std::fprintf(stderr, "ocsp_lint: unknown argument %s\n", arg.c_str());
@@ -124,7 +135,7 @@ int run(int argc, char** argv) {
     }
   }
 
-  const std::vector<LintTarget> targets = registry();
+  const std::vector<LintTarget> targets = registry(rerun);
   if (list) {
     for (const auto& t : targets) {
       std::printf("%s%s\n", t.name.c_str(),
@@ -138,9 +149,24 @@ int run(int argc, char** argv) {
   for (const auto& t : targets) {
     if (only.empty() ? t.fixture : t.name != only) continue;
     found = true;
-    for (const auto& [proc, program] : t.processes) {
-      analysis::ProgramReport rep =
-          analysis::analyze_program(program, t.name + "/" + proc);
+    for (const auto& p : t.scenario.processes) {
+      csp::StmtPtr program = p.program;
+      analysis::CommuteContext ctx;
+      std::vector<analysis::Finding> applied;
+      if (rerun) {
+        // Reclassify with the cross-process context, then lint what the
+        // runtime would actually execute.
+        ctx = core::scenario_commute_context(t.scenario, p.name);
+        transform::ReclassifyResult rr =
+            transform::reclassify(program, {&ctx});
+        program = rr.program;
+        applied = std::move(rr.findings);
+      }
+      analysis::ProgramReport rep = analysis::analyze_program(
+          program, t.name + "/" + p.name, rerun ? &ctx : nullptr);
+      rep.findings.insert(rep.findings.end(),
+                          std::make_move_iterator(applied.begin()),
+                          std::make_move_iterator(applied.end()));
       // Processes without a single fork site (plain native services) have
       // nothing to report; keep the output focused on the clients.
       if (rep.sites.empty() && rep.findings.empty()) continue;
@@ -162,7 +188,8 @@ int run(int argc, char** argv) {
   if (!json_path.empty()) {
     util::JsonWriter w;
     w.begin_object();
-    w.key("schema").value("ocsp-lint-v1");
+    w.key("schema").value("ocsp-lint-v2");
+    w.key("rerun_after_transforms").value(rerun);
     w.key("errors").value(errors);
     w.key("programs").begin_array();
     for (const auto& rep : reports) rep.write_json(w);

@@ -8,7 +8,8 @@
 //     cascade walked back to the originating mis-guess)
 //
 // Usage:
-//   ocsp_prof [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual]
+//   ocsp_prof [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual
+//                         |commute_registry]
 //             [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]
 //
 // Default output is the human-readable report; --json emits one
@@ -38,7 +39,7 @@ struct Options {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual]"
+      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual|commute_registry]"
       " [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]\n",
       argv0);
   return 2;
@@ -78,6 +79,13 @@ ocsp::baseline::Scenario make_scenario(const Options& o) {
     p.transactions = 4 * o.scale;
     p.seed = o.seed;
     return core::db_fs_scenario(p);
+  }
+  if (o.workload == "commute_registry") {
+    core::CommuteRegistryParams p;
+    p.clients = 2 * o.scale;
+    p.net.latency = sim::microseconds(300);
+    p.seed = o.seed;
+    return core::commute_registry_scenario(p);
   }
   if (o.workload == "mutual") {
     core::MutualParams p;
