@@ -37,6 +37,13 @@ bool ops_commute(const csp::OpCommSpec& a, const csp::OpCommSpec& b) {
   for (const auto& g : a.groups) {
     if (std::find(b.groups.begin(), b.groups.end(), g) != b.groups.end()) {
       if (!level_compat(a.level, b.level)) return false;
+      // Abelian folds only commute within one operator family: `x += a`
+      // and `x *= b` are each abelian, but (x+a)*b != x*b+a.  kNone means
+      // the fold is unknown and licenses nothing.
+      if (a.level == CommLevel::kAbelian && b.level == CommLevel::kAbelian &&
+          (a.fold == csp::FoldOp::kNone || a.fold != b.fold)) {
+        return false;
+      }
     }
   }
   return true;
@@ -158,19 +165,74 @@ void flatten_body(const csp::Stmt& stmt, BodyShape& shape) {
   }
 }
 
-/// Match `x = x (+|*|and|or) e` where `e` reads only request metadata.
-bool is_abelian_update(const csp::AssignStmt& a) {
-  const auto* bin = dynamic_cast<const csp::BinaryExpr*>(a.value.get());
-  if (bin == nullptr) return false;
-  switch (bin->op()) {
-    case csp::BinaryOp::kAdd:
-    case csp::BinaryOp::kMul:
-    case csp::BinaryOp::kAnd:
-    case csp::BinaryOp::kOr:
-      break;
-    default:
-      return false;
+csp::FoldOp fold_of(csp::BinaryOp op) {
+  switch (op) {
+    case csp::BinaryOp::kAdd: return csp::FoldOp::kAdd;
+    case csp::BinaryOp::kMul: return csp::FoldOp::kMul;
+    case csp::BinaryOp::kAnd: return csp::FoldOp::kAnd;
+    case csp::BinaryOp::kOr: return csp::FoldOp::kOr;
+    default: return csp::FoldOp::kNone;
   }
+}
+
+/// Whether `e`, evaluated while serving op `op`, is provably numeric.
+/// Request metadata: __caller/__reqid are bound to ints by deliver();
+/// __args[i] is numeric when every call site in the system passes a
+/// provably numeric i-th argument (ctx).  Everything else — __op, __args
+/// as a whole, state variables — is unproven.
+bool numeric_request_expr(const csp::Expr* e, const std::string& op,
+                          const InferContext& ctx) {
+  if (const auto* c = dynamic_cast<const csp::ConstExpr*>(e)) {
+    return c->value().type() == csp::Value::Type::kInt ||
+           c->value().type() == csp::Value::Type::kReal;
+  }
+  if (const auto* v = dynamic_cast<const csp::VarExpr*>(e)) {
+    return v->name() == "__caller" || v->name() == "__reqid";
+  }
+  if (const auto* un = dynamic_cast<const csp::UnaryExpr*>(e)) {
+    return un->op() == csp::UnaryOp::kNeg &&
+           numeric_request_expr(un->operand().get(), op, ctx);
+  }
+  if (const auto* bin = dynamic_cast<const csp::BinaryExpr*>(e)) {
+    switch (bin->op()) {
+      case csp::BinaryOp::kAdd:
+      case csp::BinaryOp::kSub:
+      case csp::BinaryOp::kMul:
+      case csp::BinaryOp::kDiv:
+      case csp::BinaryOp::kMod:
+        return numeric_request_expr(bin->lhs().get(), op, ctx) &&
+               numeric_request_expr(bin->rhs().get(), op, ctx);
+      default:
+        return false;  // comparisons and and/or yield booleans
+    }
+  }
+  if (const auto* idx = dynamic_cast<const csp::IndexExpr*>(e)) {
+    const auto* list = dynamic_cast<const csp::VarExpr*>(idx->list().get());
+    const auto* i = dynamic_cast<const csp::ConstExpr*>(idx->index().get());
+    if (list == nullptr || list->name() != "__args" || i == nullptr ||
+        i->value().type() != csp::Value::Type::kInt) {
+      return false;
+    }
+    auto it = ctx.numeric_args.find(op);
+    return it != ctx.numeric_args.end() &&
+           it->second.count(static_cast<int>(i->value().as_int())) != 0;
+  }
+  return false;
+}
+
+/// Match `x = x (+|*|and|or) e` where `e` reads only request metadata, and
+/// return the fold operator.  A `+` fold must also prove `e` numeric:
+/// value_add concatenates two strings (associative, not commutative), so a
+/// string delta could make reordering silently observable.  With a numeric
+/// delta the only non-numeric accumulator behavior is a hard type failure,
+/// identical in either order.  `*` rejects non-numerics outright and
+/// `and`/`or` reduce to truthiness, so they carry no such obligation.
+csp::FoldOp abelian_update_fold(const csp::AssignStmt& a, const std::string& op,
+                                const InferContext& ctx) {
+  const auto* bin = dynamic_cast<const csp::BinaryExpr*>(a.value.get());
+  if (bin == nullptr) return csp::FoldOp::kNone;
+  const csp::FoldOp fold = fold_of(bin->op());
+  if (fold == csp::FoldOp::kNone) return csp::FoldOp::kNone;
   auto is_self = [&a](const csp::ExprPtr& e) {
     const auto* v = dynamic_cast<const csp::VarExpr*>(e.get());
     return v != nullptr && v->name() == a.variable;
@@ -181,17 +243,21 @@ bool is_abelian_update(const csp::AssignStmt& a) {
   } else if (is_self(bin->rhs())) {
     delta = bin->lhs();
   }
-  if (delta == nullptr) return false;
+  if (delta == nullptr) return csp::FoldOp::kNone;
   std::set<std::string> delta_reads;
   delta->collect_reads(delta_reads);
   for (const auto& r : delta_reads) {
-    if (!is_request_var(r)) return false;
+    if (!is_request_var(r)) return csp::FoldOp::kNone;
   }
-  return true;
+  if (fold == csp::FoldOp::kAdd &&
+      !numeric_request_expr(delta.get(), op, ctx)) {
+    return csp::FoldOp::kNone;
+  }
+  return fold;
 }
 
 void summarize_arm(const std::string& op, const csp::Stmt& body,
-                   csp::CommDecls& out) {
+                   const InferContext& ctx, csp::CommDecls& out) {
   BodyShape shape;
   flatten_body(body, shape);
   if (!shape.summarizable) return;
@@ -224,13 +290,21 @@ void summarize_arm(const std::string& op, const csp::Stmt& body,
     spec.level = CommLevel::kPure;
     spec.groups.assign(state_reads.begin(), state_reads.end());
   } else {
-    const bool all_abelian = const_replies &&
-        std::all_of(shape.assigns.begin(), shape.assigns.end(),
-                    [](const csp::AssignStmt* a) {
-                      return is_abelian_update(*a);
-                    });
-    if (all_abelian) {
+    // One fold operator for the whole body: the spec carries a single
+    // fold, and two runs of this op reorder every update pair, so mixed
+    // operators within one body are themselves order-observable.
+    csp::FoldOp fold =
+        const_replies ? abelian_update_fold(*shape.assigns.front(), op, ctx)
+                      : csp::FoldOp::kNone;
+    for (std::size_t i = 1; fold != csp::FoldOp::kNone && i < shape.assigns.size();
+         ++i) {
+      if (abelian_update_fold(*shape.assigns[i], op, ctx) != fold) {
+        fold = csp::FoldOp::kNone;
+      }
+    }
+    if (fold != csp::FoldOp::kNone) {
       spec.level = CommLevel::kAbelian;
+      spec.fold = fold;
       spec.groups.assign(state_writes.begin(), state_writes.end());
     } else {
       spec.level = CommLevel::kMutate;
@@ -244,12 +318,13 @@ void summarize_arm(const std::string& op, const csp::Stmt& body,
 
 }  // namespace
 
-csp::CommDecls infer_summaries(const csp::StmtPtr& program) {
+csp::CommDecls infer_summaries(const csp::StmtPtr& program,
+                               const InferContext& ctx) {
   csp::CommDecls decls;
-  csp::visit_preorder(program.get(), [&decls](const csp::Stmt& stmt) {
+  csp::visit_preorder(program.get(), [&decls, &ctx](const csp::Stmt& stmt) {
     std::string op;
     if (const csp::IfStmt* arm = dispatch_arm(stmt, &op)) {
-      if (arm->then_branch) summarize_arm(op, *arm->then_branch, decls);
+      if (arm->then_branch) summarize_arm(op, *arm->then_branch, ctx, decls);
     }
   });
   return decls;
@@ -257,12 +332,154 @@ csp::CommDecls infer_summaries(const csp::StmtPtr& program) {
 
 // ---- cross-process context -------------------------------------------------
 
+namespace {
+
+/// Whether `e` is provably numeric in a caller whose provably-numeric
+/// local variables are `numeric`.  Request metadata reads resolve as in
+/// numeric_request_expr, so service processes that relay values also get
+/// their forwarding arguments typed.
+bool numeric_local_expr(const csp::Expr* e,
+                        const std::set<std::string>& numeric) {
+  if (const auto* c = dynamic_cast<const csp::ConstExpr*>(e)) {
+    return c->value().type() == csp::Value::Type::kInt ||
+           c->value().type() == csp::Value::Type::kReal;
+  }
+  if (const auto* v = dynamic_cast<const csp::VarExpr*>(e)) {
+    if (is_request_var(v->name())) {
+      return v->name() == "__caller" || v->name() == "__reqid";
+    }
+    return numeric.count(v->name()) != 0;
+  }
+  if (const auto* un = dynamic_cast<const csp::UnaryExpr*>(e)) {
+    return un->op() == csp::UnaryOp::kNeg &&
+           numeric_local_expr(un->operand().get(), numeric);
+  }
+  if (const auto* bin = dynamic_cast<const csp::BinaryExpr*>(e)) {
+    switch (bin->op()) {
+      case csp::BinaryOp::kAdd:
+      case csp::BinaryOp::kSub:
+      case csp::BinaryOp::kMul:
+      case csp::BinaryOp::kDiv:
+      case csp::BinaryOp::kMod:
+        return numeric_local_expr(bin->lhs().get(), numeric) &&
+               numeric_local_expr(bin->rhs().get(), numeric);
+      default:
+        return false;
+    }
+  }
+  return false;
+}
+
+/// Greatest fixpoint of "every value this variable can hold is numeric"
+/// over one process: start from all locally assigned variables and remove
+/// any with an unproven producer — a non-numeric assignment source, a call
+/// reply, or a fork-guessed value.  A native statement writes the Env
+/// invisibly, so its presence forfeits the whole process.
+std::set<std::string> numeric_vars(const csp::StmtPtr& program) {
+  bool has_native = false;
+  std::vector<const csp::AssignStmt*> assigns;
+  std::set<std::string> unproven;
+  csp::visit_preorder(program.get(), [&](const csp::Stmt& s) {
+    switch (s.kind) {
+      case csp::StmtKind::kNative:
+        has_native = true;
+        break;
+      case csp::StmtKind::kAssign:
+        assigns.push_back(static_cast<const csp::AssignStmt*>(&s));
+        break;
+      case csp::StmtKind::kCall: {
+        const auto& c = static_cast<const csp::CallStmt&>(s);
+        if (!c.result_var.empty()) unproven.insert(c.result_var);
+        break;
+      }
+      case csp::StmtKind::kFork: {
+        const auto& f = static_cast<const csp::ForkStmt&>(s);
+        for (const auto& v : f.passed) unproven.insert(v);
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  if (has_native) return {};
+  std::set<std::string> numeric;
+  for (const auto* a : assigns) {
+    if (!is_request_var(a->variable)) numeric.insert(a->variable);
+  }
+  for (const auto& v : unproven) numeric.erase(v);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto* a : assigns) {
+      if (numeric.count(a->variable) != 0 &&
+          !numeric_local_expr(a->value.get(), numeric)) {
+        numeric.erase(a->variable);
+        changed = true;
+      }
+    }
+  }
+  return numeric;
+}
+
+}  // namespace
+
 CommuteContext build_commute_context(const std::vector<SystemProcess>& procs,
                                      const std::string& self) {
+  // Pass 1: prove per call site which arguments are numeric, intersecting
+  // across every site of (target, op).  A computed-target site could reach
+  // any process, so it taints its op name everywhere.
+  std::map<std::string, std::map<std::string, std::map<int, bool>>> arg_num;
+  std::set<std::string> tainted_ops;
+  for (const auto& p : procs) {
+    const std::set<std::string> numeric = numeric_vars(p.program);
+    csp::visit_preorder(p.program.get(), [&](const csp::Stmt& s) {
+      const std::vector<csp::ExprPtr>* args = nullptr;
+      const std::string* target = nullptr;
+      const std::string* op = nullptr;
+      bool dynamic_target = false;
+      if (s.kind == csp::StmtKind::kCall) {
+        const auto& c = static_cast<const csp::CallStmt&>(s);
+        args = &c.args;
+        target = &c.target;
+        op = &c.op;
+        dynamic_target = c.target_expr != nullptr;
+      } else if (s.kind == csp::StmtKind::kSend) {
+        const auto& c = static_cast<const csp::SendStmt&>(s);
+        args = &c.args;
+        target = &c.target;
+        op = &c.op;
+        dynamic_target = c.target_expr != nullptr;
+      } else {
+        return;
+      }
+      if (dynamic_target) {
+        tainted_ops.insert(*op);
+        return;
+      }
+      auto& per_index = arg_num[*target][*op];
+      for (std::size_t i = 0; i < args->size(); ++i) {
+        const bool ok = numeric_local_expr((*args)[i].get(), numeric);
+        auto [it, inserted] = per_index.emplace(static_cast<int>(i), ok);
+        if (!inserted) it->second = it->second && ok;
+      }
+    });
+  }
+
   CommuteContext ctx;
   ctx.self = self;
   for (const auto& p : procs) {
-    csp::CommDecls decls = infer_summaries(p.program);
+    InferContext infer;
+    auto found = arg_num.find(p.name);
+    if (found != arg_num.end()) {
+      for (const auto& [op, per_index] : found->second) {
+        if (tainted_ops.count(op) != 0) continue;
+        std::set<int>& proven = infer.numeric_args[op];
+        for (const auto& [i, ok] : per_index) {
+          if (ok) proven.insert(i);
+        }
+      }
+    }
+    csp::CommDecls decls = infer_summaries(p.program, infer);
     for (const auto& [op, spec] : p.declared) {
       decls[op] = spec;  // declarations win
     }
@@ -388,11 +605,11 @@ struct UseResult {
 
 UseResult use_walk(const csp::Stmt* stmt, const std::string& v);
 
-UseResult use_walk_list(const std::vector<csp::StmtPtr>& stmts,
+UseResult use_walk_list(const std::vector<const csp::Stmt*>& stmts,
                         const std::string& v) {
   UseResult r;
-  for (const auto& s : stmts) {
-    UseResult c = use_walk(s.get(), v);
+  for (const auto* s : stmts) {
+    UseResult c = use_walk(s, v);
     r.use = use_join(r.use, c.use);
     if (c.killed) {
       r.killed = true;
@@ -400,6 +617,14 @@ UseResult use_walk_list(const std::vector<csp::StmtPtr>& stmts,
     }
   }
   return r;
+}
+
+UseResult use_walk_list(const std::vector<csp::StmtPtr>& stmts,
+                        const std::string& v) {
+  std::vector<const csp::Stmt*> raw;
+  raw.reserve(stmts.size());
+  for (const auto& s : stmts) raw.push_back(s.get());
+  return use_walk_list(raw, v);
 }
 
 UseResult use_walk(const csp::Stmt* stmt, const std::string& v) {
@@ -501,6 +726,11 @@ UseResult use_walk(const csp::Stmt* stmt, const std::string& v) {
 }  // namespace
 
 UseClass use_of(const std::vector<csp::StmtPtr>& stmts, const std::string& v) {
+  return use_walk_list(stmts, v).use;
+}
+
+UseClass use_of(const std::vector<const csp::Stmt*>& stmts,
+                const std::string& v) {
   return use_walk_list(stmts, v).use;
 }
 

@@ -49,7 +49,11 @@ bool level_compat(csp::CommLevel a, csp::CommLevel b);
 
 /// Whether two individual ops commute, replies included: their group sets
 /// are disjoint, or every shared access is level-compatible (which, given
-/// per-op uniform levels, means both pure or both abelian).
+/// per-op uniform levels, means both pure or both abelian).  Two abelian
+/// ops additionally need the SAME fold operator (csp::FoldOp): `x += a`
+/// and `x *= b` each fold commutatively on their own, yet reordering them
+/// against each other is observable ((x+a)*b != x*b+a).  An abelian spec
+/// with fold kNone commutes with nothing on a shared group.
 bool ops_commute(const csp::OpCommSpec& a, const csp::OpCommSpec& b);
 
 /// Join of the group accesses of a set of ops.  `complete` is false when
@@ -78,6 +82,17 @@ struct SummaryTable {
                            const std::set<std::string>& ops) const;
 };
 
+/// Caller-side knowledge fed into inference for one target process.
+/// build_commute_context derives it from every Call/Send in the system.
+struct InferContext {
+  /// Per op of this process: the __args indices whose argument expression
+  /// is provably numeric at EVERY static call/send site in the system.  An
+  /// op reachable through a computed target (call_dyn/send_dyn with a
+  /// matching op name) is tainted and gets an empty set.  An op absent
+  /// from the map has no proven-numeric arguments.
+  std::map<std::string, std::set<int>> numeric_args;
+};
+
 /// Infer op summaries from a program built with csp::service_loop: each
 /// `if (__op == "X") body` dispatch arm is analyzed.  A body with no
 /// writes, sends, calls, or external output is kPure over its non-request
@@ -86,7 +101,19 @@ struct SummaryTable {
 /// kAbelian over the written variables; other local-only bodies are
 /// kMutate over their state reads+writes.  Bodies with downstream
 /// calls/sends, natives, prints, or nested control flow get no summary.
-csp::CommDecls infer_summaries(const csp::StmtPtr& program);
+///
+/// Abelian constraints: every update in one body must fold with the same
+/// operator (the spec's FoldOp); mixed operators demote to kMutate.  A `+`
+/// fold additionally requires the delta to be PROVABLY NUMERIC — numeric
+/// literals, __caller/__reqid, arithmetic over those, or an __args element
+/// the InferContext proves numeric at every call site — because value_add
+/// concatenates two strings, which is associative but not commutative
+/// ("ab" vs "ba").  With a numeric delta no silent divergence exists: a
+/// string accumulator hard-fails identically in either order.  `*` folds
+/// reject non-numeric operands outright and `and`/`or` produce booleans,
+/// so only `+` carries the numeric obligation.
+csp::CommDecls infer_summaries(const csp::StmtPtr& program,
+                               const InferContext& ctx = {});
 
 /// Everything classify_split needs to reason across process boundaries.
 struct CommuteContext {
@@ -108,6 +135,12 @@ struct SystemProcess {
   csp::CommDecls declared;
 };
 
+/// Builds the summary table (declared ∪ inferred) and peer-op map for a
+/// closed system.  Before inferring each process's summaries it scans every
+/// other process's static call/send sites to prove which request arguments
+/// are numeric (InferContext) — the obligation `+`-fold abelian updates
+/// carry — using a per-caller greatest-fixpoint over locally numeric
+/// variables.  Computed-target sites taint their op name system-wide.
 CommuteContext build_commute_context(const std::vector<SystemProcess>& procs,
                                      const std::string& self);
 
@@ -138,8 +171,12 @@ UseClass use_join(UseClass a, UseClass b);
 
 /// Use class of `v` over `stmts` executed in program order (a right thread
 /// followed by its continuation).  A must-write to `v` kills later uses on
-/// that path; loops and fork branches are joined conservatively.
+/// that path; loops and fork branches are joined conservatively.  The raw
+/// pointer overload serves Machine::pending_stmts(), whose frame walk
+/// yields the exact remaining program of a live thread.
 UseClass use_of(const std::vector<csp::StmtPtr>& stmts, const std::string& v);
+UseClass use_of(const std::vector<const csp::Stmt*>& stmts,
+                const std::string& v);
 UseClass use_of(const csp::StmtPtr& stmt, const std::string& v);
 
 /// kUnused -> kDead, kBooleanOnly -> kBoolean, kValueUsed -> kExact.

@@ -10,8 +10,11 @@
 //   kAbelian — folds a commutative/associative update into its groups
 //              (counter increment, set insert, append-only accumulate) and
 //              replies a value independent of the group state (unit or a
-//              constant).  Any two abelian ops on the same group commute,
-//              replies included.
+//              constant).  Two abelian ops on the same group commute,
+//              replies included, ONLY when they fold with the same operator
+//              (FoldOp below): `x += a` and `x *= b` are each abelian on
+//              their own, but (x+a)*b != x*b+a, so mixing operators on one
+//              group is order-observable.
 //   kMutate  — arbitrary read/write of its groups; the reply may depend on
 //              the order of earlier ops ("return the new total").
 //
@@ -44,9 +47,29 @@ inline const char* to_string(CommLevel l) {
   return "?";
 }
 
+/// The update operator a kAbelian op folds into its groups.  Abelian
+/// compatibility requires *identical* folds: each operator family is
+/// commutative and associative with itself, but reordering across families
+/// ((x+a)*b vs (x*b)+a) or an unknown fold (kNone) is never licensed.
+enum class FoldOp : std::uint8_t { kNone = 0, kAdd, kMul, kAnd, kOr };
+
+inline const char* to_string(FoldOp f) {
+  switch (f) {
+    case FoldOp::kNone: return "none";
+    case FoldOp::kAdd: return "+";
+    case FoldOp::kMul: return "*";
+    case FoldOp::kAnd: return "and";
+    case FoldOp::kOr: return "or";
+  }
+  return "?";
+}
+
 struct OpCommSpec {
   std::vector<std::string> groups;
   CommLevel level = CommLevel::kMutate;
+  /// Meaningful only for kAbelian; a declared abelian summary must name its
+  /// fold or it will not commute with anything on a shared group.
+  FoldOp fold = FoldOp::kNone;
 
   friend bool operator==(const OpCommSpec&, const OpCommSpec&) = default;
 };

@@ -181,6 +181,32 @@ void Machine::deliver(std::string op, ValueList args, std::int64_t caller,
   state_ = MachineState::kReady;
 }
 
+std::vector<const Stmt*> Machine::pending_stmts() const {
+  std::vector<const Stmt*> out;
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    switch (it->stmt->kind) {
+      case StmtKind::kSeq: {
+        // body[pc-1] is the child executing in the frame above; the suffix
+        // from pc is what this frame will run next.
+        const auto& s = static_cast<const SeqStmt&>(*it->stmt);
+        for (std::size_t i = it->pc; i < s.body.size(); ++i) {
+          out.push_back(s.body[i].get());
+        }
+        break;
+      }
+      case StmtKind::kWhile:
+        // The frame re-evaluates the condition when the body (above)
+        // returns; the While itself summarizes all later iterations.
+        out.push_back(it->stmt);
+        break;
+      default:
+        out.push_back(it->stmt);
+        break;
+    }
+  }
+  return out;
+}
+
 void Machine::take_fork_branch(bool left) {
   OCSP_CHECK_MSG(state_ == MachineState::kAtFork,
                  "take_fork_branch() while not at a fork");

@@ -104,6 +104,16 @@ class Machine {
   /// Frame-stack depth, exposed for tests and diagnostics.
   std::size_t depth() const { return stack_.size(); }
 
+  /// The exact remaining program of this machine as an ordered statement
+  /// list: for each frame from innermost out, the statement about to run,
+  /// a Seq's unexecuted suffix, or a While (covering its condition and all
+  /// later iterations).  Static analyses (e.g. the fork-time use-class
+  /// oracle) can walk this to reason about everything the thread will
+  /// still execute — the pending branch AND the enclosing continuation.
+  /// Pointers stay valid while this machine (or any sharer of its program)
+  /// is alive.
+  std::vector<const Stmt*> pending_stmts() const;
+
  private:
   struct Frame {
     const Stmt* stmt;

@@ -71,13 +71,21 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   t.join_safe = false;
 
   // Commit-on-commute oracle: re-derive each annotated variable's use class
-  // over the right thread's statement tree and drop any VerifyMode the
-  // static proof no longer supports (a stale annotation after a rewrite
-  // would make forgiveness unsound).  The dropped variable falls back to
-  // exact verification, so the run itself stays correct either way.
+  // over the right thread's ACTUAL remaining program — the S2 branch plus
+  // every statement the enclosing continuation will still run, straight off
+  // the machine's frame stack — and drop any VerifyMode the static proof no
+  // longer supports (a stale annotation after a rewrite would make
+  // forgiveness unsound).  Checking f.right alone is not enough: a forgiven
+  // commit leaves the guessed value in the surviving env, so a variable the
+  // right branch never touches but the post-fork continuation value-reads
+  // is exactly the unsound-annotation shape the oracle exists to catch.
+  // The dropped variable falls back to exact verification, so the run
+  // itself stays correct either way.
   if (config_.commute_oracle && !t.join_verify.empty()) {
+    const std::vector<const csp::Stmt*> right_path =
+        right_machine.pending_stmts();
     for (auto it = t.join_verify.begin(); it != t.join_verify.end();) {
-      const analysis::UseClass uc = analysis::use_of(f.right, it->first);
+      const analysis::UseClass uc = analysis::use_of(right_path, it->first);
       const bool supported =
           (it->second == csp::VerifyMode::kDead &&
            uc == analysis::UseClass::kUnused) ||

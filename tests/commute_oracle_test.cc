@@ -182,5 +182,37 @@ TEST(CommuteOracle, RuntimeOracleDropsUnsoundAnnotation) {
   EXPECT_TRUE(trace::compare_traces(pess.trace, opt.trace, &why)) << why;
 }
 
+TEST(CommuteOracle, RuntimeOracleSeesThePostForkContinuation) {
+  // The right BRANCH never touches v, but the continuation after the fork
+  // prints it — and the continuation runs on the right thread's machine,
+  // where a forgiven commit would leave the guessed value.  The oracle
+  // must therefore validate over the thread's full remaining program
+  // (Machine::pending_stmts), not the branch alone, and reject the forged
+  // verify=dead annotation.
+  std::map<std::string, csp::PredictorSpec> preds;
+  preds.emplace("v", csp::PredictorSpec::always(Value(99)));
+  auto f = csp::fork(csp::call("S", "Echo", {csp::lit(Value(7))}, "v"),
+                     csp::compute(sim::microseconds(5)), {"v"}, preds,
+                     "bogus");
+  auto nf = std::make_shared<csp::ForkStmt>(*f);
+  nf->verify["v"] = csp::VerifyMode::kDead;  // true of the branch alone
+  auto program = csp::seq({nf, csp::print(csp::var("v"))});
+
+  baseline::Scenario scenario;
+  scenario.options.spec.commute_oracle = true;  // force on (Release too)
+  scenario.add("X", program);
+  scenario.add("S", csp::echo_service(Value(7), sim::microseconds(10)));
+
+  baseline::Scenario sequential = scenario;
+  auto pess = baseline::run_scenario(sequential, false);
+  auto opt = baseline::run_scenario(scenario, true);
+  ASSERT_TRUE(pess.all_completed && opt.all_completed);
+  EXPECT_EQ(opt.stats.commute_oracle_violations, 1u);
+  EXPECT_EQ(opt.stats.commute_commits, 0u);
+  EXPECT_GT(opt.stats.aborts_value_fault, 0u);  // exact verification kept
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(pess.trace, opt.trace, &why)) << why;
+}
+
 }  // namespace
 }  // namespace ocsp

@@ -98,8 +98,8 @@ TEST(CommLattice, CompatIsSymmetricAndAntitone) {
 }
 
 TEST(CommLattice, OpsCommuteByDisjointnessOrCompatLevels) {
-  const OpCommSpec add{{"count"}, CommLevel::kAbelian};
-  const OpCommSpec note{{"notes"}, CommLevel::kAbelian};
+  const OpCommSpec add{{"count"}, CommLevel::kAbelian, csp::FoldOp::kAdd};
+  const OpCommSpec note{{"notes"}, CommLevel::kAbelian, csp::FoldOp::kAdd};
   const OpCommSpec stamp{{"stamps"}, CommLevel::kMutate};
   const OpCommSpec peek{{"count"}, CommLevel::kPure};
   EXPECT_TRUE(ops_commute(add, add));        // abelian on the same group
@@ -108,6 +108,27 @@ TEST(CommLattice, OpsCommuteByDisjointnessOrCompatLevels) {
   EXPECT_FALSE(ops_commute(stamp, stamp));   // mutate never self-commutes
   EXPECT_FALSE(ops_commute(add, peek));      // reader sees partial sums
   EXPECT_TRUE(ops_commute(peek, peek));      // pure reads commute
+}
+
+TEST(CommLattice, AbelianCompatRequiresIdenticalFolds) {
+  // Each of `x += a` and `x *= b` folds commutatively with itself, but
+  // (x+a)*b != x*b+a: mixing operator families on one group is
+  // order-observable, so the specs must not commute.
+  const OpCommSpec add{{"count"}, CommLevel::kAbelian, csp::FoldOp::kAdd};
+  const OpCommSpec scale{{"count"}, CommLevel::kAbelian, csp::FoldOp::kMul};
+  const OpCommSpec any{{"count"}, CommLevel::kAbelian, csp::FoldOp::kNone};
+  const OpCommSpec conj{{"flags"}, CommLevel::kAbelian, csp::FoldOp::kAnd};
+  const OpCommSpec disj{{"flags"}, CommLevel::kAbelian, csp::FoldOp::kOr};
+  EXPECT_TRUE(ops_commute(add, add));
+  EXPECT_TRUE(ops_commute(scale, scale));
+  EXPECT_FALSE(ops_commute(add, scale));
+  EXPECT_FALSE(ops_commute(scale, add));     // symmetric
+  EXPECT_FALSE(ops_commute(conj, disj));     // (x&&a)||b != (x||b)&&a
+  // A declared abelian summary without a fold licenses nothing...
+  EXPECT_FALSE(ops_commute(any, any));
+  EXPECT_FALSE(ops_commute(any, add));
+  // ...unless the groups are disjoint anyway.
+  EXPECT_TRUE(ops_commute(scale, conj));
 }
 
 // ---- Summary inference ----------------------------------------------------
@@ -119,6 +140,7 @@ csp::StmtPtr registry_program(bool with_stamp = true) {
       reply(lit(Value(true))),
   });
   handlers["Note"] = assign("notes", csp::add(var("notes"), arg(0)));
+  handlers["Bump"] = assign("count", csp::add(var("count"), lit(Value(1))));
   if (with_stamp) {
     handlers["Stamp"] = seq({
         assign("stamps", csp::add(var("stamps"), lit(Value(1)))),
@@ -130,17 +152,52 @@ csp::StmtPtr registry_program(bool with_stamp = true) {
 
 TEST(InferSummaries, RegistryArmsSpanTheLattice) {
   const csp::CommDecls decls = infer_summaries(registry_program());
+  // Bump folds a numeric literal: abelian with no call-site help needed.
+  ASSERT_EQ(decls.count("Bump"), 1u);
+  EXPECT_EQ(decls.at("Bump").level, CommLevel::kAbelian);
+  EXPECT_EQ(decls.at("Bump").fold, csp::FoldOp::kAdd);
+  EXPECT_EQ(decls.at("Bump").groups, std::vector<std::string>{"count"});
+
+  // Add/Note fold __args[0] with `+`.  Standalone inference cannot rule
+  // out a string argument — value_add concatenates strings, which does
+  // not commute — so without caller knowledge both demote to kMutate.
   ASSERT_EQ(decls.count("Add"), 1u);
-  EXPECT_EQ(decls.at("Add").level, CommLevel::kAbelian);
-  EXPECT_EQ(decls.at("Add").groups, std::vector<std::string>{"count"});
+  EXPECT_EQ(decls.at("Add").level, CommLevel::kMutate);
+  ASSERT_EQ(decls.count("Note"), 1u);
+  EXPECT_EQ(decls.at("Note").level, CommLevel::kMutate);
 
-  ASSERT_EQ(decls.count("Note"), 1u);  // one-way: no reply to order
-  EXPECT_EQ(decls.at("Note").level, CommLevel::kAbelian);
+  // With every call site proven numeric the arms span the lattice.
+  InferContext typed_ctx;
+  typed_ctx.numeric_args["Add"].insert(0);
+  typed_ctx.numeric_args["Note"].insert(0);
+  const csp::CommDecls typed = infer_summaries(registry_program(), typed_ctx);
+  EXPECT_EQ(typed.at("Add").level, CommLevel::kAbelian);
+  EXPECT_EQ(typed.at("Add").fold, csp::FoldOp::kAdd);
+  EXPECT_EQ(typed.at("Add").groups, std::vector<std::string>{"count"});
+  EXPECT_EQ(typed.at("Note").level, CommLevel::kAbelian);  // one-way op
 
-  ASSERT_EQ(decls.count("Stamp"), 1u);
+  ASSERT_EQ(typed.count("Stamp"), 1u);
   // The abelian update is spoiled by the non-constant reply: callers can
   // observe the order through the returned total.
-  EXPECT_EQ(decls.at("Stamp").level, CommLevel::kMutate);
+  EXPECT_EQ(typed.at("Stamp").level, CommLevel::kMutate);
+}
+
+TEST(InferSummaries, FoldOperatorsAndMixedBodies) {
+  std::map<std::string, csp::StmtPtr> handlers;
+  handlers["Scale"] = assign("count", csp::mul(var("count"), arg(0)));
+  handlers["Mixed"] = seq({
+      assign("count", csp::add(var("count"), lit(Value(1)))),
+      assign("flags", csp::or_(var("flags"), arg(0))),
+  });
+  const csp::CommDecls decls = infer_summaries(csp::service_loop(handlers));
+  // `*` rejects non-numeric operands at runtime instead of silently
+  // concatenating, so it needs no call-site proof.
+  ASSERT_EQ(decls.count("Scale"), 1u);
+  EXPECT_EQ(decls.at("Scale").level, CommLevel::kAbelian);
+  EXPECT_EQ(decls.at("Scale").fold, csp::FoldOp::kMul);
+  // One spec carries one fold: a body mixing operator families demotes.
+  ASSERT_EQ(decls.count("Mixed"), 1u);
+  EXPECT_EQ(decls.at("Mixed").level, CommLevel::kMutate);
 }
 
 TEST(InferSummaries, DownstreamEffectsDisqualifyAnArm) {
@@ -159,7 +216,8 @@ TEST(BuildCommuteContext, DeclarationsWinOverInference) {
   // Inference says Stamp is kMutate; a declaration can assert better
   // (e.g. the native implementation is known commutative).
   csp::CommDecls declared;
-  declared["Stamp"] = OpCommSpec{{"stamps"}, CommLevel::kAbelian};
+  declared["Stamp"] =
+      OpCommSpec{{"stamps"}, CommLevel::kAbelian, csp::FoldOp::kAdd};
   const CommuteContext ctx = build_commute_context(
       {{"R", registry_program(), declared},
        {"C", seq({call("R", "Stamp", {}, "s"), print(var("s"))}), {}}},
@@ -267,6 +325,93 @@ TEST(ClassifyWidening, NonCommutingPeerOpBreaksTheProof) {
                            findings, &smash_peer)
                 .cls,
             ForkClass::kSpeculative);
+}
+
+TEST(ClassifyWidening, MixedFoldsOnSharedGroupStaySpeculative) {
+  // Add (`count += 1`) and Scale (`count *= 2`) are each abelian on
+  // {count}, but (x+a)*b != x*b+a: a split firing them from opposite
+  // halves must not be widened to SAFE.
+  std::map<std::string, csp::StmtPtr> handlers;
+  handlers["Add"] = seq({
+      assign("count", csp::add(var("count"), lit(Value(1)))),
+      reply(lit(Value(true))),
+  });
+  handlers["Scale"] = seq({
+      assign("count", csp::mul(var("count"), lit(Value(2)))),
+      reply(lit(Value(true))),
+  });
+  csp::StmtPtr svc = csp::service_loop(std::move(handlers));
+
+  auto left = call("R", "Add", {}, "a");
+  auto mixed = seq({send("R", "Scale", {}), print(lit(Value("done")))});
+  auto uniform = seq({send("R", "Add", {}), print(lit(Value("done")))});
+  const CommuteContext mixed_ctx = build_commute_context(
+      {{"R", svc, {}}, {"C0", seq({left, mixed}), {}}}, "C0");
+  const CommuteContext uniform_ctx = build_commute_context(
+      {{"R", svc, {}}, {"C0", seq({left, uniform}), {}}}, "C0");
+
+  std::vector<Finding> findings;
+  EXPECT_EQ(classify_split(left, mixed, CommEffects{}, {}, "site", false,
+                           findings, &mixed_ctx)
+                .cls,
+            ForkClass::kSpeculative);
+  findings.clear();
+  EXPECT_EQ(classify_split(left, uniform, CommEffects{}, {}, "site", false,
+                           findings, &uniform_ctx)
+                .cls,
+            ForkClass::kSafe);
+}
+
+TEST(BuildCommuteContext, CallSiteTypesGateAdditiveFolds) {
+  // Every site numeric — a literal and a loop counter the caller-side
+  // fixpoint proves — keeps Note abelian.
+  const CommuteContext numeric_ctx = build_commute_context(
+      {{"R", registry_program(), {}},
+       {"C0", send("R", "Note", {lit(Value(1))}), {}},
+       {"C1",
+        seq({assign("i", lit(Value(0))),
+             while_(csp::lt(var("i"), lit(Value(3))),
+                    seq({send("R", "Note", {var("i")}),
+                         assign("i", csp::add(var("i"), lit(Value(1))))}))}),
+        {}}},
+      "C0");
+  ASSERT_NE(numeric_ctx.summaries.lookup("R", "Note"), nullptr);
+  EXPECT_EQ(numeric_ctx.summaries.lookup("R", "Note")->level,
+            CommLevel::kAbelian);
+  EXPECT_EQ(numeric_ctx.summaries.lookup("R", "Note")->fold,
+            csp::FoldOp::kAdd);
+
+  // One string-passing site demotes the op: value_add would concatenate,
+  // and "ab" vs "ba" is an observable reordering.
+  const CommuteContext string_ctx = build_commute_context(
+      {{"R", registry_program(), {}},
+       {"C0", send("R", "Note", {lit(Value(1))}), {}},
+       {"C1", send("R", "Note", {lit(Value("ab"))}), {}}},
+      "C0");
+  ASSERT_NE(string_ctx.summaries.lookup("R", "Note"), nullptr);
+  EXPECT_EQ(string_ctx.summaries.lookup("R", "Note")->level,
+            CommLevel::kMutate);
+
+  // A computed-target site could reach any process: it taints the op name.
+  const CommuteContext dyn_ctx = build_commute_context(
+      {{"R", registry_program(), {}},
+       {"C0", send("R", "Note", {lit(Value(1))}), {}},
+       {"C1", csp::send_dyn(lit(Value("R")), "Note", {lit(Value(2))}), {}}},
+      "C0");
+  ASSERT_NE(dyn_ctx.summaries.lookup("R", "Note"), nullptr);
+  EXPECT_EQ(dyn_ctx.summaries.lookup("R", "Note")->level, CommLevel::kMutate);
+
+  // A variable fed by a call reply is unproven: the reply could be
+  // anything, so the argument does not type as numeric.
+  const CommuteContext reply_ctx = build_commute_context(
+      {{"R", registry_program(), {}},
+       {"C0",
+        seq({call("Q", "Get", {}, "v"), send("R", "Note", {var("v")})}),
+        {}}},
+      "C0");
+  ASSERT_NE(reply_ctx.summaries.lookup("R", "Note"), nullptr);
+  EXPECT_EQ(reply_ctx.summaries.lookup("R", "Note")->level,
+            CommLevel::kMutate);
 }
 
 TEST(ClassifyWidening, MixedOpsReportPartialCommute) {
