@@ -492,6 +492,58 @@ baseline::Scenario safe_fanout_scenario(const SafeFanoutParams& params) {
 
 std::string commute_registry_client(int i) { return "C" + std::to_string(i); }
 
+// ---------------------------------------------------------------------------
+// Abort storm (adaptive-governor showcase)
+// ---------------------------------------------------------------------------
+
+baseline::Scenario abort_storm_scenario(const AbortStormParams& params) {
+  // Client X: stream Lookup calls, folding every reply into an accumulator
+  // so each guessed value is really consumed (a mismatch is a value fault).
+  csp::StmtPtr client = seq({
+      assign("i", lit(Value(0))),
+      assign("acc", lit(Value(0))),
+      while_(lt(var("i"), lit(Value(params.calls))),
+             seq({
+                 call("Y", "Lookup", {var("i")}, "R"),
+                 assign("acc", add(var("acc"), var("R"))),
+                 assign("i", add(var("i"), lit(Value(1)))),
+             })),
+      print(list_of({lit(Value("storm-acc")), var("acc")})),
+  });
+
+  if (params.stream) {
+    transform::StreamingOptions opts;
+    // Guess the constant 0: right (hit_period-1)/hit_period of the time
+    // *wrong*, but the periodic hits keep resetting retry limit L.
+    opts.predictor = [](const csp::CallStmt&) {
+      return csp::PredictorSpec::always(Value(0));
+    };
+    opts.timeout = params.spec.fork_timeout;
+    client = transform::stream_calls(client, opts).program;
+  }
+
+  // Server Y: deterministic in the argument, so the committed trace is
+  // identical however speculation fares.
+  const std::int64_t period = std::max(1, params.hit_period);
+  std::map<std::string, csp::NativeHandler> handlers;
+  handlers["Lookup"] = [period](const csp::ValueList& args, csp::Env&,
+                                util::Rng&) {
+    const std::int64_t i = args.empty() ? 0 : args[0].as_int();
+    return Value(i % period == 0 ? std::int64_t{0} : i);
+  };
+  csp::ServiceConfig sc;
+  sc.service_time = params.service_time;
+  csp::StmtPtr server = csp::native_service(std::move(handlers), sc);
+
+  baseline::Scenario scenario;
+  scenario.options.seed = params.seed;
+  scenario.options.spec = params.spec;
+  scenario.options.default_link = make_link(params.net);
+  scenario.add("X", std::move(client));
+  scenario.add("Y", std::move(server));
+  return scenario;
+}
+
 analysis::CommuteContext scenario_commute_context(
     const baseline::Scenario& scenario, const std::string& self) {
   std::vector<analysis::SystemProcess> procs;

@@ -200,6 +200,30 @@ baseline::Scenario commute_registry_scenario(const CommuteRegistryParams& p);
 /// Name of the i-th registry client ("C0", "C1", ...).
 std::string commute_registry_client(int i);
 
+// ---------------------------------------------------------------------------
+// Abort storm: the adaptive-governor showcase.  Client X streams Lookup
+// calls into server Y whose reply is 0 every `hit_period`-th call and the
+// (varying) argument otherwise; the streamed fork guesses the constant 0,
+// so speculation commits once per period and mis-guesses the rest — an
+// abort rate of (hit_period-1)/hit_period.  The periodic commits reset the
+// consecutive-abort counter, so retry limit L never fires and the storm
+// rages for the whole run unless the governor's abort-rate EWMA demotes the
+// site (SpecConfig::governor_*).  Fully deterministic: the reply depends
+// only on the argument, so the committed trace matches the sequential
+// baseline no matter how often speculation loses.
+// ---------------------------------------------------------------------------
+struct AbortStormParams {
+  int calls = 60;
+  int hit_period = 3;  ///< every hit_period-th guess verifies
+  sim::Time service_time = sim::microseconds(10);
+  bool stream = true;
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario abort_storm_scenario(const AbortStormParams& params);
+
 /// Cross-process commutativity context for one process of a scenario:
 /// declared summaries (ScenarioProcess::commute) unioned with what
 /// analysis::infer_summaries extracts from each program, peer ops from

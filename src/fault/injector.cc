@@ -1,0 +1,46 @@
+#include "fault/injector.h"
+
+namespace ocsp::fault {
+
+bool Injector::partitioned(ProcessId a, ProcessId b, sim::Time now) const {
+  for (const auto& w : plan_.partitions) {
+    const bool matches =
+        (w.a == a && w.b == b) || (w.a == b && w.b == a);
+    if (matches && now >= w.start && now < w.end) return true;
+  }
+  return false;
+}
+
+net::FaultDecision Injector::decide(const net::Envelope& env, util::Rng& rng) {
+  net::FaultDecision fd;
+  if (!plan_.enabled) return fd;
+
+  if (partitioned(env.src, env.dst, env.sent_at)) {
+    fd.drop = true;
+    fd.cause = "partition";
+    ++stats_.partition_drops;
+  } else {
+    const PlaneFaults& pf =
+        env.payload->control_plane() ? plan_.control : plan_.data;
+    if (pf.drop > 0.0 && rng.bernoulli(pf.drop)) {
+      fd.drop = true;
+      fd.cause = "drop";
+      ++stats_.drops;
+    } else if (pf.corrupt > 0.0 && rng.bernoulli(pf.corrupt)) {
+      fd.corrupt = true;
+      fd.cause = "corrupt";
+      ++stats_.corruptions;
+    } else if (pf.duplicate > 0.0 && rng.bernoulli(pf.duplicate)) {
+      fd.duplicates = 1;
+      fd.cause = "duplicate";
+      ++stats_.duplicates;
+    }
+  }
+
+  if ((fd.drop || fd.corrupt || fd.duplicates > 0) && observer_) {
+    observer_(env, fd);
+  }
+  return fd;
+}
+
+}  // namespace ocsp::fault

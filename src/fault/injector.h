@@ -1,0 +1,54 @@
+// Turns a FaultPlan into per-send FaultDecisions for net::Network.
+//
+// The injector is the plan's executor for message-plane faults (drop,
+// duplicate, corrupt, partition); crash events are orchestrated by the
+// speculation runtime, which owns process lifecycles.  All randomness comes
+// from the util::Rng the network passes in — its dedicated fault stream —
+// so an injector never perturbs latency draws.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "fault/plan.h"
+#include "net/network.h"
+
+namespace ocsp::fault {
+
+struct InjectorStats {
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t partition_drops = 0;
+
+  std::uint64_t total() const {
+    return drops + duplicates + corruptions + partition_drops;
+  }
+};
+
+class Injector {
+ public:
+  /// Observer invoked for every injected fault (decision != no-op).
+  using Observer = std::function<void(const net::Envelope&,
+                                      const net::FaultDecision&)>;
+
+  explicit Injector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// net::Network fault-hook entry point.
+  net::FaultDecision decide(const net::Envelope& env, util::Rng& rng);
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  const FaultPlan& plan() const { return plan_; }
+  const InjectorStats& stats() const { return stats_; }
+
+ private:
+  bool partitioned(ProcessId a, ProcessId b, sim::Time now) const;
+
+  FaultPlan plan_;
+  InjectorStats stats_;
+  Observer observer_;
+};
+
+}  // namespace ocsp::fault

@@ -1,0 +1,123 @@
+#include "fault/plan.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace ocsp::fault {
+
+namespace {
+
+void describe_plane(std::ostringstream& out, const char* name,
+                    const PlaneFaults& pf) {
+  if (!pf.any()) return;
+  out << name << "(";
+  bool first = true;
+  auto field = [&](const char* key, double v) {
+    if (v <= 0.0) return;
+    if (!first) out << ",";
+    first = false;
+    out << key << "=" << v;
+  };
+  field("drop", pf.drop);
+  field("dup", pf.duplicate);
+  field("corrupt", pf.corrupt);
+  out << ")";
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  if (!enabled) return "none";
+  std::ostringstream out;
+  describe_plane(out, "data", data);
+  if (control.any()) {
+    if (out.tellp() > 0) out << "+";
+    describe_plane(out, "ctl", control);
+  }
+  for (const auto& p : partitions) {
+    if (out.tellp() > 0) out << "+";
+    out << "part(" << p.a << "<->" << p.b << ","
+        << sim::to_millis(p.end - p.start) << "ms)";
+  }
+  for (const auto& c : crashes) {
+    if (out.tellp() > 0) out << "+";
+    out << "crash(p" << c.process << ","
+        << sim::to_millis(c.restart_at - c.at) << "ms)";
+  }
+  if (out.tellp() == 0) return "enabled-empty";
+  return out.str();
+}
+
+FaultPlan make_chaos_plan(std::uint64_t seed, const ChaosSpec& spec,
+                          std::uint32_t num_processes) {
+  FaultPlan plan;
+  plan.enabled = true;
+  // Mix the seed so neighbouring seeds get unrelated magnitudes even though
+  // they cycle through the same six categories.
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ull + 0x5bf03635);
+
+  auto prob = [&](double maxp) { return rng.uniform(0.05, maxp); };
+  auto add_partitions = [&](int at_most) {
+    if (num_processes < 2) return;
+    const int n = static_cast<int>(rng.uniform_int(1, at_most));
+    for (int i = 0; i < n; ++i) {
+      PartitionWindow w;
+      w.a = static_cast<ProcessId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_processes) - 1));
+      w.b = static_cast<ProcessId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_processes) - 2));
+      if (w.b >= w.a) ++w.b;  // distinct pair
+      w.start = rng.uniform_int(spec.horizon / 10, spec.horizon);
+      w.end = w.start + rng.uniform_int(spec.partition_min_len,
+                                        spec.partition_max_len);
+      plan.partitions.push_back(w);
+    }
+  };
+  auto add_crashes = [&](int at_most) {
+    if (num_processes == 0) return;
+    const int n = static_cast<int>(rng.uniform_int(1, at_most));
+    for (int i = 0; i < n; ++i) {
+      CrashEvent c;
+      c.process = static_cast<ProcessId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(num_processes) - 1));
+      c.at = rng.uniform_int(spec.horizon / 10, spec.horizon);
+      c.restart_at = c.at + rng.uniform_int(spec.crash_min_downtime,
+                                            spec.crash_max_downtime);
+      plan.crashes.push_back(c);
+    }
+  };
+
+  switch (seed % 6) {
+    case 0:  // pure loss, both planes
+      plan.data.drop = prob(spec.max_drop);
+      plan.control.drop = prob(spec.max_drop);
+      break;
+    case 1:  // duplication, both planes
+      plan.data.duplicate = prob(spec.max_duplicate);
+      plan.control.duplicate = prob(spec.max_duplicate);
+      break;
+    case 2:  // corruption, both planes
+      plan.data.corrupt = prob(spec.max_corrupt);
+      plan.control.corrupt = prob(spec.max_corrupt);
+      break;
+    case 3:  // link partitions
+      add_partitions(spec.max_partitions);
+      break;
+    case 4:  // process crashes
+      add_crashes(spec.max_crashes);
+      break;
+    default:  // everything at once, at gentler magnitudes
+      plan.data.drop = prob(spec.max_drop / 2);
+      plan.data.duplicate = prob(spec.max_duplicate / 2);
+      plan.data.corrupt = prob(spec.max_corrupt / 2);
+      plan.control.drop = prob(spec.max_drop / 2);
+      plan.control.duplicate = prob(spec.max_duplicate / 2);
+      add_partitions(1);
+      add_crashes(1);
+      break;
+  }
+  return plan;
+}
+
+}  // namespace ocsp::fault

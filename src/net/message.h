@@ -22,6 +22,10 @@ class Message {
   /// Approximate wire size, used for bandwidth-delay modelling.
   virtual std::size_t wire_size() const { return 64; }
 
+  /// Control-plane messages (COMMIT/ABORT/PRECEDENCE) override this; fault
+  /// plans use it to apply per-plane drop/duplicate/corrupt probabilities.
+  virtual bool control_plane() const { return false; }
+
   /// Human-readable rendering for traces and debug logs.
   virtual std::string describe() const { return kind(); }
 };

@@ -8,7 +8,13 @@
 namespace ocsp::net {
 
 Network::Network(sim::Scheduler& sched, util::Rng rng)
-    : sched_(sched), rng_(rng) {}
+    : sched_(sched), rng_(rng), fault_rng_(0) {
+  // Derive the fault stream from a *copy* so rng_ itself never advances:
+  // runs with fault injection disabled draw exactly the same latency/loss
+  // sequence as before this stream existed.
+  util::Rng tmp = rng_;
+  fault_rng_ = tmp.split();
+}
 
 void Network::register_endpoint(ProcessId id, Handler handler) {
   OCSP_CHECK(handler != nullptr);
@@ -79,9 +85,47 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
   env.sent_at = sched_.now();
   env.delivered_at = deliver_at;
   env.payload = std::move(payload);
-  if (send_tracer_) send_tracer_(env);
 
-  sched_.at(deliver_at, [this, env]() {
+  // Fault injection runs after the latency/FIFO computation above: every
+  // send consumes its latency draw whether or not it survives, so the fault
+  // plan never perturbs the delivery schedule of unaffected messages.
+  FaultDecision fault;
+  if (fault_hook_) fault = fault_hook_(env, fault_rng_);
+
+  if (fault.drop || fault.corrupt) {
+    if (fault.corrupt) {
+      ++stats_.faults_corrupted;
+    } else {
+      ++stats_.faults_dropped;
+    }
+    OCSP_DLOG << "net: fault " << (fault.corrupt ? "corrupt" : "drop") << " #"
+              << id << " " << env.payload->kind() << " " << src << "->" << dst
+              << " (" << fault.cause << ")";
+    if (send_tracer_) {
+      Envelope lost = env;
+      lost.delivered_at = 0;  // never delivered
+      send_tracer_(lost);
+    }
+    return id;
+  }
+
+  if (send_tracer_) send_tracer_(env);
+  schedule_delivery(env);
+
+  for (int i = 0; i < fault.duplicates; ++i) {
+    ++stats_.faults_duplicated;
+    Envelope dup = env;
+    dup.delivered_at =
+        deliver_at + sim::microseconds(1 + fault_rng_.uniform_int(0, 200));
+    OCSP_DLOG << "net: fault duplicate #" << id << " " << src << "->" << dst
+              << " @" << dup.delivered_at << " (" << fault.cause << ")";
+    schedule_delivery(dup);
+  }
+  return id;
+}
+
+void Network::schedule_delivery(const Envelope& env) {
+  sched_.at(env.delivered_at, [this, env]() {
     auto it = endpoints_.find(env.dst);
     OCSP_CHECK_MSG(it != endpoints_.end(), "delivery to unknown endpoint");
     ++stats_.messages_delivered;
@@ -90,7 +134,6 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
     it->second(env);
     if (tracer_) tracer_(env);
   });
-  return id;
 }
 
 }  // namespace ocsp::net

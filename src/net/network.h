@@ -28,14 +28,16 @@ struct LinkConfig {
   std::uint64_t bandwidth_bytes_per_sec = 0;
   /// Deliver messages on this link in send order.
   bool fifo = true;
-  /// Probability a message is silently dropped (senders needing liveness
-  /// must retry; used only for control-plane loss experiments).
+  /// Probability a message is silently dropped.  Loss applies to both
+  /// planes: data-plane senders recover via the ack/retransmit transport
+  /// (net/reliable.h) and control-plane senders via the blind re-broadcast
+  /// of section 4.2.5 (SpecConfig::control_retry).
   double drop_probability = 0.0;
 
   /// When set, only messages matching the filter are subject to loss; the
-  /// liveness experiments drop COMMIT/ABORT/PRECEDENCE while leaving data
-  /// messages reliable (the paper assumes reliable data transport and only
-  /// requires the control broadcast to be retried, section 4.2.5).
+  /// liveness experiments use it to target one plane at a time (e.g. drop
+  /// COMMIT/ABORT/PRECEDENCE but leave data alone, or the reverse).  Leave
+  /// unset to expose every message on the link to drop_probability.
   std::function<bool(const Message&)> drop_filter;
 };
 
@@ -44,6 +46,22 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  /// Injected-fault outcomes (fault hook; disjoint from messages_dropped,
+  /// which counts LinkConfig::drop_probability losses).
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_corrupted = 0;
+  std::uint64_t faults_duplicated = 0;
+};
+
+/// Verdict of the fault hook for one send.  `corrupt` models a payload
+/// mangled in flight and discarded by the receiver's checksum — from the
+/// protocol's point of view it is a loss, but it is counted separately.
+/// `duplicates` schedules that many extra deliveries of the same envelope.
+struct FaultDecision {
+  bool drop = false;
+  bool corrupt = false;
+  int duplicates = 0;
+  const char* cause = "";
 };
 
 class Network {
@@ -51,6 +69,10 @@ class Network {
   using Handler = std::function<void(const Envelope&)>;
   /// Trace hook observing every delivery (after the handler ran).
   using Tracer = std::function<void(const Envelope&)>;
+  /// Fault hook consulted once per send (after latency/FIFO computation so
+  /// fault decisions never perturb latency draws).  The util::Rng passed in
+  /// is the network's dedicated fault stream.
+  using FaultHook = std::function<FaultDecision(const Envelope&, util::Rng&)>;
 
   Network(sim::Scheduler& sched, util::Rng rng);
 
@@ -73,14 +95,23 @@ class Network {
   /// messages are observed too, with delivered_at == 0).
   void set_send_tracer(Tracer tracer) { send_tracer_ = std::move(tracer); }
 
+  /// Install (or clear) the fault-injection hook.  All fault randomness is
+  /// drawn from a stream split off the link RNG at construction, so enabling
+  /// faults leaves every latency/loss draw bit-identical to a fault-free run.
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
   const NetworkStats& stats() const { return stats_; }
   sim::Scheduler& scheduler() { return sched_; }
 
  private:
   const LinkConfig& link_for(ProcessId src, ProcessId dst) const;
+  void schedule_delivery(const Envelope& env);
 
   sim::Scheduler& sched_;
   util::Rng rng_;
+  /// Dedicated stream for fault-injection draws (split from rng_ without
+  /// advancing it — see the constructor).
+  util::Rng fault_rng_;
   LinkConfig default_link_;
   std::map<std::pair<ProcessId, ProcessId>, LinkConfig> links_;
   std::map<ProcessId, Handler> endpoints_;
@@ -88,6 +119,7 @@ class Network {
   std::map<std::pair<ProcessId, ProcessId>, sim::Time> fifo_horizon_;
   Tracer tracer_;
   Tracer send_tracer_;
+  FaultHook fault_hook_;
   NetworkStats stats_;
   MsgId next_msg_id_ = 1;
 };

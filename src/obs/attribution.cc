@@ -202,6 +202,33 @@ AttributionReport build_attribution(
         spec_windows.erase(key_of(e.guess));
         break;
       }
+      case EventKind::kGovernorDemote: {
+        SiteScorecard& c = card(e.process, e.detail);
+        ++c.governor_demotions;
+        c.governor_demoted = true;
+        break;
+      }
+      case EventKind::kGovernorPromote: {
+        SiteScorecard& c = card(e.process, e.detail);
+        ++c.governor_promotions;
+        c.governor_demoted = false;
+        break;
+      }
+      case EventKind::kRetransmit:
+        ++out.retransmissions;
+        break;
+      case EventKind::kDuplicateSuppressed:
+        ++out.duplicates_suppressed;
+        break;
+      case EventKind::kFaultInjected:
+        ++out.faults_injected;
+        break;
+      case EventKind::kCrash:
+        ++out.crashes;
+        break;
+      case EventKind::kRecovery:
+        ++out.recoveries;
+        break;
       default:
         break;
     }
@@ -241,6 +268,7 @@ AttributionReport build_attribution(
         SiteScorecard* sc = site_of_root(key_of(e.guess));
         if (sc != nullptr) {
           ++sc->aborts_root;
+          if (e.reason == AbortReason::kTimeout) ++sc->aborts_timeout;
         } else {
           ++out.unattributed_roots;
         }
@@ -281,13 +309,20 @@ std::string attribution_table(const AttributionReport& report) {
     return std::string(buf);
   };
   util::Table t({"process", "site", "forks", "spec", "safe", "seq", "hits",
-                 "misses", "forgiven", "roots", "caused", "wasted_ms",
-                 "saved_ms", "net_ms"});
+                 "misses", "forgiven", "roots", "t/o", "caused", "gov",
+                 "wasted_ms", "saved_ms", "net_ms"});
   for (const auto& s : report.sites) {
+    // Governor column: "<demotions>d/<promotions>p", "!" while demoted.
+    std::string gov = "-";
+    if (s.governor_demotions > 0 || s.governor_promotions > 0) {
+      gov = std::to_string(s.governor_demotions) + "d/" +
+            std::to_string(s.governor_promotions) + "p";
+      if (s.governor_demoted) gov += "!";
+    }
     t.row(s.name, s.site, s.forks, s.speculative, s.safe_elided,
           s.sequential, s.hits, s.misses, s.commute_commits, s.aborts_root,
-          s.aborts_caused, ms(s.wasted_downstream_ns), ms(s.saved_ns),
-          ms(s.net_ns()));
+          s.aborts_timeout, s.aborts_caused, gov,
+          ms(s.wasted_downstream_ns), ms(s.saved_ns), ms(s.net_ns()));
   }
   std::string out = "Speculation scorecards (best net profit first):\n" +
                     t.to_string();
@@ -305,6 +340,16 @@ std::string attribution_table(const AttributionReport& report) {
     out += " (" + ms(report.unattributed_wasted_ns) + " ms unattributed)";
   }
   out += "\n";
+  if (report.retransmissions > 0 || report.duplicates_suppressed > 0 ||
+      report.faults_injected > 0 || report.crashes > 0) {
+    out += "Liveness: " + std::to_string(report.faults_injected) +
+           " faults injected, " + std::to_string(report.retransmissions) +
+           " retransmissions, " +
+           std::to_string(report.duplicates_suppressed) +
+           " duplicates suppressed, " + std::to_string(report.crashes) +
+           " crashes (" + std::to_string(report.recoveries) +
+           " recoveries)\n";
+  }
   return out;
 }
 

@@ -49,6 +49,9 @@ struct SiteScorecard {
 
   /// Root aborts originating here (value/time fault, timeout).
   std::uint64_t aborts_root = 0;
+  /// Subset of `aborts_root` caused by fork/join-wait timeouts — the
+  /// liveness mechanism firing rather than a wrong guess.
+  std::uint64_t aborts_timeout = 0;
   /// Cascade aborts whose root cause traces back to this site.
   std::uint64_t aborts_caused = 0;
   /// Discarded compute (ns) attributed to this site's mis-guesses,
@@ -63,6 +66,12 @@ struct SiteScorecard {
   /// Checkpoint bytes SAFE elision never materialized.
   std::uint64_t elided_bytes = 0;
 
+  /// Adaptive-governor activity at this site (kGovernorDemote/Promote).
+  std::uint64_t governor_demotions = 0;
+  std::uint64_t governor_promotions = 0;
+  /// Site ended the run demoted to sequential.
+  bool governor_demoted = false;
+
   std::int64_t net_ns() const { return saved_ns - wasted_downstream_ns; }
 };
 
@@ -76,6 +85,14 @@ struct AttributionReport {
   std::uint64_t unattributed_roots = 0;
   std::int64_t wasted_total_ns = 0;
   std::int64_t unattributed_wasted_ns = 0;
+  /// Liveness / robustness activity (run-wide; these events carry no fork
+  /// site): retransmissions and duplicate suppressions from the reliable
+  /// transport, injected faults, and crash/recovery cycles.
+  std::uint64_t retransmissions = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t recoveries = 0;
   /// Sorted by net profit, best first.
   std::vector<SiteScorecard> sites;
 };

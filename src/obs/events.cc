@@ -65,6 +65,20 @@ const char* to_string(EventKind k) {
       return "process-completed";
     case EventKind::kCommuteCommit:
       return "commute-commit";
+    case EventKind::kFaultInjected:
+      return "fault-injected";
+    case EventKind::kRetransmit:
+      return "retransmit";
+    case EventKind::kDuplicateSuppressed:
+      return "duplicate-suppressed";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRecovery:
+      return "recovery";
+    case EventKind::kGovernorDemote:
+      return "governor-demote";
+    case EventKind::kGovernorPromote:
+      return "governor-promote";
   }
   return "?";
 }
@@ -81,6 +95,8 @@ const char* to_string(AbortReason r) {
       return "timeout";
     case AbortReason::kCascade:
       return "cascade";
+    case AbortReason::kCrash:
+      return "crash";
   }
   return "?";
 }

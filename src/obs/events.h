@@ -55,8 +55,19 @@ enum class EventKind : std::uint8_t {
   kCommuteCommit,      ///< join forgave a guess mismatch under commute
                        ///< verification (variables dead / boolean-only in
                        ///< the right thread); a = variables forgiven
+  kFaultInjected,      ///< fault plan hit a message; a = 1 drop / 2 corrupt
+                       ///< / 3 duplicate, detail = cause
+  kRetransmit,         ///< reliable transport re-sent an unacked frame;
+                       ///< a = attempt number
+  kDuplicateSuppressed,  ///< receiver forgave a duplicate frame (dedup)
+  kCrash,              ///< fault plan crashed this process
+  kRecovery,           ///< crashed process restarted; a = own guesses
+                       ///< aborted to restore the committed state
+  kGovernorDemote,     ///< abort-rate breaker demoted a fork site to
+                       ///< sequential execution; detail = site
+  kGovernorPromote,    ///< breaker re-enabled speculation at a site
 };
-inline constexpr std::size_t kEventKindCount = 26;
+inline constexpr std::size_t kEventKindCount = 33;
 
 enum class AbortReason : std::uint8_t {
   kNone,
@@ -65,8 +76,9 @@ enum class AbortReason : std::uint8_t {
                 ///< future-thread rule (4.2.3, 4.2.8)
   kTimeout,     ///< liveness timeout on the left thread or join wait (3.3)
   kCascade,     ///< dependency on a remotely/locally aborted guess (4.2.7)
+  kCrash,       ///< process crash discarded the uncommitted speculation
 };
-inline constexpr std::size_t kAbortReasonCount = 5;
+inline constexpr std::size_t kAbortReasonCount = 6;
 
 enum class ControlType : std::uint8_t { kNone, kCommit, kAbort, kPrecedence };
 

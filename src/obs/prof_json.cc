@@ -75,6 +75,13 @@ void write_prof_json(const RunProfile& profile,
   w.key("unattributed_cascades").value(attribution.unattributed_cascades);
   w.key("wasted_total_ns").value(attribution.wasted_total_ns);
   w.key("unattributed_wasted_ns").value(attribution.unattributed_wasted_ns);
+  w.key("liveness").begin_object();
+  w.key("retransmissions").value(attribution.retransmissions);
+  w.key("duplicates_suppressed").value(attribution.duplicates_suppressed);
+  w.key("faults_injected").value(attribution.faults_injected);
+  w.key("crashes").value(attribution.crashes);
+  w.key("recoveries").value(attribution.recoveries);
+  w.end_object();
   w.key("sites").begin_array();
   for (const auto& s : attribution.sites) {
     w.begin_object();
@@ -89,7 +96,11 @@ void write_prof_json(const RunProfile& profile,
     w.key("commits").value(s.commits);
     w.key("commute_commits").value(s.commute_commits);
     w.key("aborts_root").value(s.aborts_root);
+    w.key("aborts_timeout").value(s.aborts_timeout);
     w.key("aborts_caused").value(s.aborts_caused);
+    w.key("governor_demotions").value(s.governor_demotions);
+    w.key("governor_promotions").value(s.governor_promotions);
+    w.key("governor_demoted").value(s.governor_demoted);
     w.key("wasted_downstream_ns").value(s.wasted_downstream_ns);
     w.key("saved_ns").value(s.saved_ns);
     w.key("elided_bytes").value(s.elided_bytes);

@@ -42,6 +42,7 @@ class ControlMessage final : public net::Message {
   std::string kind() const override;
   std::size_t wire_size() const override;
   std::string describe() const override;
+  bool control_plane() const override { return true; }
 };
 
 }  // namespace ocsp::spec

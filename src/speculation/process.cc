@@ -173,6 +173,7 @@ void SpeculativeProcess::schedule_step(std::uint32_t thread_index) {
 }
 
 void SpeculativeProcess::run_thread(std::uint32_t thread_index) {
+  if (crashed_) return;  // down; restart() reschedules every runnable thread
   auto it = threads_.find(thread_index);
   if (it == threads_.end()) return;  // killed before the step fired
   if (it->second.phase != ThreadCtx::Phase::kRunning) return;
@@ -339,7 +340,9 @@ void SpeculativeProcess::send_data(ThreadCtx& t, DataKind kind,
 
   timeline().record({trace::TimelineEntry::Kind::kMsgSend,
                      runtime_.scheduler().now(), id_, dst, msg->describe()});
-  runtime_.network().send(id_, dst, std::move(msg));
+  // Data plane goes through the reliable transport (a plain network send
+  // when it is disabled); the control plane keeps its own liveness story.
+  runtime_.transport_send(id_, dst, std::move(msg));
 }
 
 // ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@
 #include "csp/machine.h"
 #include "net/envelope.h"
 #include "net/network.h"
+#include "net/reliable.h"
 #include "obs/events.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
@@ -175,6 +176,7 @@ class SpeculativeProcess {
   std::size_t live_thread_count() const;
   const ThreadCtx* thread(std::uint32_t index) const;
   std::uint32_t current_incarnation() const { return incarnation_; }
+  bool crashed() const { return crashed_; }
   std::size_t pending_message_count() const { return pending_.size(); }
   std::size_t checkpoint_count() const { return checkpoints_.size(); }
   std::size_t input_log_size() const { return input_log_.size(); }
@@ -224,6 +226,36 @@ class SpeculativeProcess {
   void abort_guess_local(const GuessId& g);
   void abort_own_guess(const GuessId& g, const char* reason);
   void after_guard_change();
+  /// Roll back every thread depending on a history-aborted guess to a
+  /// fixpoint (the body of abort_guess_local, also run after incarnation
+  /// observations mark guesses implicitly aborted).
+  void rollback_aborted_dependencies();
+
+  // ---- crash / recovery (fault plans) -------------------------------------
+  /// Take the process down at the current virtual time: no stepping, no
+  /// message processing until restart().  Called by Runtime::crash_process.
+  void crash();
+  /// Bring the process back up from its last committed state: abort every
+  /// uncommitted own guess (bumping the incarnation via the normal cascade
+  /// machinery) and resume.  Called by Runtime::restart_process.
+  void restart();
+  /// Current incarnation tag stamped on outgoing reliable frames.
+  net::IncarnationTag incarnation_tag() const {
+    return {incarnation_, incarnation_start_};
+  }
+  /// A reliable frame from `src` carried incarnation `inc` starting at
+  /// thread index `start`: implicitly abort the dead incarnations' guesses
+  /// without waiting for the explicit ABORT (section 4.2.7's incarnation
+  /// rule, piggybacked on the data plane).
+  void observe_peer_incarnation(ProcessId src, std::uint32_t inc,
+                                std::uint32_t start);
+
+  // ---- adaptive speculation governor --------------------------------------
+  /// True when the governor currently has `site` demoted to sequential.
+  bool governor_blocks(const std::string& site);
+  /// Feed one fork outcome (abort or commit/sequential pass) into the
+  /// site's EWMA; demotes / promotes across the hysteresis thresholds.
+  void governor_outcome(const std::string& site, bool aborted);
 
   // ---- state strategy -----------------------------------------------------
   /// Account — and, under StateStrategy::kDeepCopy, materialize — the
@@ -299,6 +331,11 @@ class SpeculativeProcess {
   std::map<std::uint32_t, ThreadCtx> threads_;  // ascending thread index
   std::uint32_t max_thread_ = 0;
   std::uint32_t incarnation_ = 0;
+  /// Thread index at which incarnation_ began (0 for the first); stamped on
+  /// reliable frames so receivers can filter dead-incarnation traffic.
+  std::uint32_t incarnation_start_ = 0;
+  /// Crashed by the fault plan; cleared by restart().
+  bool crashed_ = false;
 
   HistoryTable history_;
   PredictorState predictors_;
@@ -314,6 +351,14 @@ class SpeculativeProcess {
 
   /// Consecutive own-guess aborts per fork site (liveness limit L).
   std::map<std::string, int> site_aborts_;
+
+  /// Adaptive governor state per fork site (SpecConfig::governor_*).
+  struct GovernorSite {
+    double ewma = 0.0;
+    std::uint64_t samples = 0;
+    bool demoted = false;
+  };
+  std::map<std::string, GovernorSite> governor_;
 
   /// Guesses created for SAFE-classified sites under the soundness oracle;
   /// a value/time fault on one of these is a classifier bug.

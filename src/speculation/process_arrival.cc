@@ -14,6 +14,14 @@
 namespace ocsp::spec {
 
 void SpeculativeProcess::on_message(const net::Envelope& env) {
+  if (crashed_) {
+    // Down.  Framed data never reaches this point (the transport parks it);
+    // whatever does — control traffic, unframed data — is genuinely lost,
+    // exactly like a dead machine's NIC.  Control liveness rests on the
+    // blind re-broadcast (SpecConfig::control_retry).
+    ++stats_.crash_messages_dropped;
+    return;
+  }
   if (auto ctl = std::dynamic_pointer_cast<const ControlMessage>(env.payload)) {
     {
       obs::Event ev = make_event(obs::EventKind::kControlReceived);

@@ -129,6 +129,13 @@ void SpeculativeProcess::abort_guess_local(const GuessId& g) {
                      runtime_.scheduler().now(), id_, kNoProcess,
                      g.to_string()});
 
+  rollback_aborted_dependencies();
+  // Scrub CDG nodes of the aborted guess from untouched threads.
+  for (auto& [idx, t] : threads_) t.cdg.remove_node(g);
+  rollback_cause_ = saved_cause;
+}
+
+void SpeculativeProcess::rollback_aborted_dependencies() {
   // Abortset per thread: guard members now aborted, plus guard members
   // that follow an aborted guess in the CDG.  Roll back to the earliest
   // rollback point among them (4.2.7).  Several threads may have acquired
@@ -172,9 +179,6 @@ void SpeculativeProcess::abort_guess_local(const GuessId& g) {
     if (!found) break;
     rollback_to(target, /*kill_target_thread=*/false);
   }
-  // Scrub CDG nodes of the aborted guess from untouched threads.
-  for (auto& [idx, t] : threads_) t.cdg.remove_node(g);
-  rollback_cause_ = saved_cause;
 }
 
 void SpeculativeProcess::abort_own_guess(const GuessId& g,
@@ -194,7 +198,10 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
                ? it->second.own_site
                : std::string();
   };
-  if (auto site = site_of(g.index); !site.empty()) ++site_aborts_[site];
+  if (auto site = site_of(g.index); !site.empty()) {
+    ++site_aborts_[site];
+    governor_outcome(site, /*aborted=*/true);
+  }
 
   // Kill the guarded thread and everything the chain forked after it.
   const GuessId saved_cause = rollback_cause_;
@@ -210,6 +217,7 @@ void SpeculativeProcess::abort_own_guess(const GuessId& g,
   rollback_cause_ = saved_cause;
   if (!doomed.empty()) {
     ++incarnation_;
+    incarnation_start_ = g.index;
     max_thread_ = g.index == 0 ? 0 : g.index - 1;
   }
   distribute_control(ControlKind::kAbort, g, {});

@@ -36,8 +36,13 @@ void SpeculativeProcess::cancel_fork_timer(const GuessId& guess) {
 
 void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
   ++stats_.forks;
+  // The governor's circuit breaker sits beside the liveness limit L: L is
+  // monotone per site (reset on commit), the breaker is an EWMA with
+  // hysteresis so a storming site comes back once the storm passes.
+  const bool governed = governor_blocks(f.site);
+  if (governed) ++stats_.governor_sequential_forks;
   const bool speculate =
-      config_.speculation_enabled &&
+      config_.speculation_enabled && !governed &&
       site_aborts_[f.site] < config_.retry_limit;
   // Statically-SAFE site (src/analysis): run both threads with the guess /
   // guard / commit machinery elided.  Under the soundness oracle the site
@@ -166,6 +171,10 @@ void SpeculativeProcess::do_fork(ThreadCtx& t, const csp::ForkStmt& f) {
 
   if (!speculate) {
     ++stats_.sequential_forks;
+    // A governed sequential pass cannot abort; feeding the success into the
+    // EWMA is what decays a demoted site back toward promotion (hysteresis
+    // re-enable).
+    if (governed) governor_outcome(f.site, /*aborted=*/false);
     // Keep the right thread dormant until the join supplies the actual
     // state.
     max_thread_ = t.join_right_index;
@@ -463,6 +472,7 @@ void SpeculativeProcess::finalize_join_commit(ThreadCtx& left) {
     left.join_forgiven = 0;
   }
   site_aborts_[left.join_site] = 0;
+  governor_outcome(left.join_site, /*aborted=*/false);
   left.phase = ThreadCtx::Phase::kTerminated;
   left.has_pending_join = false;
   timeline().record({trace::TimelineEntry::Kind::kCommit,
@@ -511,6 +521,7 @@ void SpeculativeProcess::reexecute_right(ThreadCtx& left) {
 }
 
 void SpeculativeProcess::on_fork_timeout(GuessId guess) {
+  if (crashed_) return;  // restart() aborts uncommitted guesses itself
   if (history_.status(guess) != GuessStatus::kUnknown) return;
   // The left thread exceeded its budget for S1 (divergence suspicion,
   // section 3.3): the guess aborts, the left thread keeps running, and S2
@@ -522,6 +533,7 @@ void SpeculativeProcess::on_fork_timeout(GuessId guess) {
 }
 
 void SpeculativeProcess::on_join_wait_timeout(GuessId guess) {
+  if (crashed_) return;  // restart() aborts uncommitted guesses itself
   if (history_.status(guess) != GuessStatus::kUnknown) return;
   ++stats_.aborts_timeout;
   record_abort(guess, obs::AbortReason::kTimeout, "join-wait-timeout");

@@ -4,10 +4,22 @@
 
 namespace ocsp::spec {
 
+namespace {
+
+RuntimeOptions normalize(RuntimeOptions o) {
+  // Crash recovery relies on the transport's parked-delivery NIC model to
+  // keep committed data durable across downtime; force it on.
+  if (o.fault_plan.has_crashes()) o.reliable.enabled = true;
+  return o;
+}
+
+}  // namespace
+
 Runtime::Runtime(RuntimeOptions options)
-    : options_(std::move(options)),
+    : options_(normalize(std::move(options))),
       rng_(options_.seed),
       network_(scheduler_, rng_.split()),
+      transport_(network_, scheduler_, options_.reliable),
       recorder_(std::make_shared<obs::RunRecorder>()) {
   network_.set_default_link(options_.default_link);
   network_.set_send_tracer([this](const net::Envelope& env) {
@@ -16,6 +28,62 @@ Runtime::Runtime(RuntimeOptions options)
   network_.set_tracer([this](const net::Envelope& env) {
     record_msg_event(obs::EventKind::kMsgDelivered, env);
   });
+  if (options_.fault_plan.enabled) {
+    injector_ = std::make_unique<fault::Injector>(options_.fault_plan);
+    injector_->set_observer([this](const net::Envelope& env,
+                                   const net::FaultDecision& fd) {
+      obs::Event ev;
+      ev.kind = obs::EventKind::kFaultInjected;
+      ev.when = scheduler_.now();
+      ev.process = env.src;
+      ev.peer = env.dst;
+      ev.msg_id = env.id;
+      ev.a = fd.drop ? 1 : (fd.corrupt ? 2 : 3);
+      ev.detail = fd.cause;
+      recorder_->record(std::move(ev));
+    });
+    network_.set_fault_hook([this](const net::Envelope& env, util::Rng& rng) {
+      return injector_->decide(env, rng);
+    });
+  }
+  transport_.set_retransmit_observer(
+      [this](ProcessId src, ProcessId dst, std::uint64_t seq, int attempt) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kRetransmit;
+        ev.when = scheduler_.now();
+        ev.process = src;
+        ev.peer = dst;
+        ev.msg_id = seq;
+        ev.a = static_cast<std::uint64_t>(attempt);
+        recorder_->record(std::move(ev));
+      });
+  transport_.set_duplicate_observer(
+      [this](ProcessId dst, ProcessId src, std::uint64_t seq) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kDuplicateSuppressed;
+        ev.when = scheduler_.now();
+        ev.process = dst;
+        ev.peer = src;
+        ev.msg_id = seq;
+        recorder_->record(std::move(ev));
+      });
+}
+
+MsgId Runtime::transport_send(ProcessId src, ProcessId dst,
+                              net::MessagePtr payload) {
+  return transport_.send(src, dst, std::move(payload));
+}
+
+void Runtime::crash_process(ProcessId id) {
+  OCSP_CHECK(id < processes_.size());
+  transport_.set_down(id, true);
+  processes_[id]->crash();
+}
+
+void Runtime::restart_process(ProcessId id) {
+  OCSP_CHECK(id < processes_.size());
+  processes_[id]->restart();
+  transport_.set_down(id, false);
 }
 
 void Runtime::record_msg_event(obs::EventKind kind,
@@ -61,9 +129,14 @@ ProcessId Runtime::add_process(std::string name, csp::StmtPtr program,
       *this, id, name, std::move(program), std::move(initial_env), spec,
       rng_.split()));
   names_.emplace(std::move(name), id);
-  network_.register_endpoint(id, [this, id](const net::Envelope& env) {
-    processes_[id]->on_message(env);
-  });
+  transport_.register_endpoint(
+      id,
+      [this, id](const net::Envelope& env) { processes_[id]->on_message(env); },
+      [this, id]() { return processes_[id]->incarnation_tag(); },
+      [this, id](ProcessId src, net::IncarnationTag tag) {
+        processes_[id]->observe_peer_incarnation(src, tag.incarnation,
+                                                 tag.start_index);
+      });
   return id;
 }
 
@@ -71,6 +144,17 @@ sim::Time Runtime::run(sim::Time deadline) {
   if (!started_) {
     started_ = true;
     for (auto& p : processes_) p->start();
+    if (options_.fault_plan.enabled) {
+      for (const auto& c : options_.fault_plan.crashes) {
+        OCSP_CHECK_MSG(c.process < processes_.size(),
+                       "crash event for unknown process");
+        OCSP_CHECK_MSG(c.restart_at > c.at, "crash restart precedes crash");
+        scheduler_.at(c.at, [this, c]() { crash_process(c.process); });
+        scheduler_.at(c.restart_at, [this, c]() {
+          restart_process(c.process);
+        });
+      }
+    }
   }
   if (deadline == sim::kTimeNever) {
     scheduler_.run();
@@ -148,6 +232,23 @@ obs::MetricsRegistry Runtime::metrics() const {
   m.counter("net_messages_delivered") += network_.stats().messages_delivered;
   m.counter("net_messages_dropped") += network_.stats().messages_dropped;
   m.counter("net_bytes_sent") += network_.stats().bytes_sent;
+  m.counter("net_faults_dropped") += network_.stats().faults_dropped;
+  m.counter("net_faults_corrupted") += network_.stats().faults_corrupted;
+  m.counter("net_faults_duplicated") += network_.stats().faults_duplicated;
+  if (options_.reliable.enabled) {
+    const net::ReliableStats& rs = transport_.stats();
+    m.counter("reliable_frames_sent") += rs.frames_sent;
+    m.counter("retransmissions") += rs.retransmissions;
+    m.counter("retransmit_exhausted") += rs.retransmit_exhausted;
+    m.counter("acks_sent") += rs.acks_sent;
+    m.counter("duplicates_suppressed") += rs.duplicates_suppressed;
+    m.counter("parked_deliveries") += rs.parked_deliveries;
+  }
+  if (injector_) {
+    const fault::InjectorStats& fs = injector_->stats();
+    m.counter("faults_injected") += fs.total();
+    m.counter("fault_partition_drops") += fs.partition_drops;
+  }
   return m;
 }
 

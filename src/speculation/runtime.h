@@ -12,7 +12,10 @@
 
 #include "csp/env.h"
 #include "csp/program.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "net/network.h"
+#include "net/reliable.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "sim/scheduler.h"
@@ -29,6 +32,12 @@ struct RuntimeOptions {
   std::uint64_t seed = 42;
   net::LinkConfig default_link;
   SpecConfig spec;
+  /// Deterministic fault schedule (disabled by default).  Crash plans
+  /// force the reliable transport on — committed data must survive
+  /// downtime via its parked-delivery NIC model.
+  fault::FaultPlan fault_plan;
+  /// Data-plane ack/retransmit transport (disabled by default).
+  net::ReliableConfig reliable;
 };
 
 class Runtime {
@@ -48,6 +57,19 @@ class Runtime {
   net::Network& network() { return network_; }
   sim::Scheduler& scheduler() { return scheduler_; }
   trace::Timeline& timeline() { return timeline_; }
+  net::ReliableTransport& transport() { return transport_; }
+  const fault::Injector* injector() const { return injector_.get(); }
+
+  /// Data-plane send through the reliable transport (a plain network send
+  /// when the transport is disabled).  Control messages bypass this and go
+  /// straight to the network — their liveness story is the blind
+  /// re-broadcast of section 4.2.5, which retransmission would duplicate.
+  MsgId transport_send(ProcessId src, ProcessId dst, net::MessagePtr payload);
+
+  /// Fault-plan crash orchestration: take the process (and its transport
+  /// endpoint) down, and later restart it from its last committed state.
+  void crash_process(ProcessId id);
+  void restart_process(ProcessId id);
 
   SpeculativeProcess& process(ProcessId id);
   const SpeculativeProcess& process(ProcessId id) const;
@@ -95,6 +117,8 @@ class Runtime {
   util::Rng rng_;
   sim::Scheduler scheduler_;
   net::Network network_;
+  net::ReliableTransport transport_;
+  std::unique_ptr<fault::Injector> injector_;
   trace::Timeline timeline_;
   std::shared_ptr<obs::RunRecorder> recorder_;
   std::vector<std::unique_ptr<SpeculativeProcess>> processes_;

@@ -16,7 +16,7 @@ std::string SpecStats::to_string() const {
      << " oracle=" << commute_oracle_violations << "]"
      << " aborts[value=" << aborts_value_fault
      << " time=" << aborts_time_fault << " timeout=" << aborts_timeout
-     << " cascade=" << aborts_cascade << "]"
+     << " crash=" << aborts_crash << " cascade=" << aborts_cascade << "]"
      << " rollbacks=" << rollbacks << " checkpoints=" << checkpoints
      << " replays=" << replays << " orphans=" << orphans_discarded
      << " redelivered=" << messages_redelivered
@@ -26,7 +26,11 @@ std::string SpecStats::to_string() const {
      << " control=" << control_sent << " precedence=" << precedence_sent
      << " state_bytes[copied=" << checkpoint_bytes_copied
      << " shared=" << checkpoint_bytes_shared
-     << " restored=" << rollback_restore_bytes << "]";
+     << " restored=" << rollback_restore_bytes << "]"
+     << " crashes=" << crashes << "/" << crash_recoveries
+     << " governor[demote=" << governor_demotions
+     << " promote=" << governor_promotions
+     << " seq=" << governor_sequential_forks << "]";
   return os.str();
 }
 
@@ -43,6 +47,7 @@ void SpecStats::export_to(obs::MetricsRegistry& m) const {
   m.counter("aborts_value_fault") += aborts_value_fault;
   m.counter("aborts_time_fault") += aborts_time_fault;
   m.counter("aborts_timeout") += aborts_timeout;
+  m.counter("aborts_crash") += aborts_crash;
   m.counter("aborts_cascade") += aborts_cascade;
   m.counter("rollbacks") += rollbacks;
   m.counter("checkpoints") += checkpoints;
@@ -59,6 +64,12 @@ void SpecStats::export_to(obs::MetricsRegistry& m) const {
   m.counter("checkpoint_bytes_copied") += checkpoint_bytes_copied;
   m.counter("checkpoint_bytes_shared") += checkpoint_bytes_shared;
   m.counter("rollback_restore_bytes") += rollback_restore_bytes;
+  m.counter("crashes") += crashes;
+  m.counter("crash_recoveries") += crash_recoveries;
+  m.counter("crash_messages_dropped") += crash_messages_dropped;
+  m.counter("governor_demotions") += governor_demotions;
+  m.counter("governor_promotions") += governor_promotions;
+  m.counter("governor_sequential_forks") += governor_sequential_forks;
 }
 
 }  // namespace ocsp::spec

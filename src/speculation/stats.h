@@ -33,6 +33,8 @@ struct SpecStats {
   std::uint64_t aborts_value_fault = 0;
   std::uint64_t aborts_time_fault = 0;
   std::uint64_t aborts_timeout = 0;
+  std::uint64_t aborts_crash = 0;    ///< own guesses discarded restoring the
+                                     ///< committed state after a crash
   std::uint64_t aborts_cascade = 0;  ///< rollbacks caused by remote aborts
   std::uint64_t rollbacks = 0;
   std::uint64_t checkpoints = 0;
@@ -58,8 +60,21 @@ struct SpecStats {
   /// replay base) during rollback.
   std::uint64_t rollback_restore_bytes = 0;
 
+  /// Robustness accounting (fault plans, crash recovery, governor).
+  std::uint64_t crashes = 0;
+  std::uint64_t crash_recoveries = 0;
+  /// Messages that arrived while the process was crashed and were dropped
+  /// (control plane; framed data is parked by the transport instead).
+  std::uint64_t crash_messages_dropped = 0;
+  std::uint64_t governor_demotions = 0;
+  std::uint64_t governor_promotions = 0;
+  /// Forks run sequentially because the governor had the site demoted
+  /// (subset of sequential_forks).
+  std::uint64_t governor_sequential_forks = 0;
+
   std::uint64_t total_aborts() const {
-    return aborts_value_fault + aborts_time_fault + aborts_timeout;
+    return aborts_value_fault + aborts_time_fault + aborts_timeout +
+           aborts_crash;
   }
 
   /// Fraction of state-copy bytes that were shared instead of
@@ -87,6 +102,7 @@ struct SpecStats {
     aborts_value_fault += o.aborts_value_fault;
     aborts_time_fault += o.aborts_time_fault;
     aborts_timeout += o.aborts_timeout;
+    aborts_crash += o.aborts_crash;
     aborts_cascade += o.aborts_cascade;
     rollbacks += o.rollbacks;
     checkpoints += o.checkpoints;
@@ -103,6 +119,12 @@ struct SpecStats {
     checkpoint_bytes_copied += o.checkpoint_bytes_copied;
     checkpoint_bytes_shared += o.checkpoint_bytes_shared;
     rollback_restore_bytes += o.rollback_restore_bytes;
+    crashes += o.crashes;
+    crash_recoveries += o.crash_recoveries;
+    crash_messages_dropped += o.crash_messages_dropped;
+    governor_demotions += o.governor_demotions;
+    governor_promotions += o.governor_promotions;
+    governor_sequential_forks += o.governor_sequential_forks;
   }
 
   std::string to_string() const;

@@ -127,6 +127,81 @@ TEST(Liveness, LossyControlPlaneRunsStayCorrect) {
       << why;
 }
 
+TEST(Liveness, ControlRetryExhaustionStallsPeerFlushButNeverCorrupts) {
+  // Loss so heavy that all copies of a control broadcast are likely lost
+  // within a 2-message retry budget.  In putline the client owns every
+  // guess and resolves it locally, so exhaustion does not abort the owner;
+  // the failure mode is on the *receiver*: the server never learns COMMIT
+  // for some guesses, so its guarded events stay buffered.  Degradation
+  // must be graceful — what the server did flush is a faithful prefix of
+  // the sequential run, and the owner's trace is untouched.
+  auto scenario = lossy_control_scenario(/*retry=*/true);
+  scenario.options.spec.control_retry_limit = 2;
+  for (auto& link : scenario.links) link.config.drop_probability = 0.9;
+  auto result = baseline::run_scenario(scenario, true, sim::seconds(30));
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  auto pessimistic =
+      baseline::run_scenario(scenario, false, sim::seconds(30));
+  ASSERT_TRUE(pessimistic.all_completed);
+  // The owner (process 0) commits locally; its observable sequence is exact.
+  std::string why;
+  EXPECT_TRUE(trace::compare_process_trace(pessimistic.trace, result.trace,
+                                           ProcessId{0}, &why))
+      << why;
+  // The receiver (process 1) stalls once the budget is exhausted: fewer
+  // events flush than in the sequential run...
+  const auto& ref = pessimistic.trace.for_process(ProcessId{1});
+  const auto& got = result.trace.for_process(ProcessId{1});
+  EXPECT_LT(got.size(), ref.size())
+      << "a 2-copy budget at 90% loss should strand at least one COMMIT";
+  // ...but every event that did flush matches the sequential run in order
+  // and value (prefix property — exhaustion truncates, never corrupts).
+  ASSERT_LE(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], ref[i]) << "event " << i << ": "
+                              << trace::to_string(got[i]) << " vs "
+                              << trace::to_string(ref[i]);
+  }
+  // Restoring an adequate budget on the very same lossy link recovers full
+  // trace equality (LossyControlPlaneRunsStayCorrect covers the default).
+  scenario.options.spec.control_retry_limit = 30;
+  auto recovered = baseline::run_scenario(scenario, true, sim::seconds(30));
+  ASSERT_TRUE(recovered.all_completed) << recovered.stats.to_string();
+  EXPECT_TRUE(trace::compare_traces(pessimistic.trace, recovered.trace, &why))
+      << why;
+}
+
+TEST(Liveness, RetryLimitFallsBackUnderSustainedDataLoss) {
+  // Data-plane loss with the reliable transport on: retransmissions keep
+  // every call alive, but the retransmit delay blows repeated fork
+  // timeouts at the streamed site until retry limit L demotes it.
+  core::PutLineParams p;
+  p.lines = 8;
+  p.net.latency = sim::microseconds(200);
+  p.service_time = sim::microseconds(100);
+  p.spec.fork_timeout = sim::milliseconds(2);
+  p.spec.retry_limit = 2;
+  p.spec.control_retry = true;
+  p.spec.control_retry_interval = sim::milliseconds(2);
+  auto scenario = core::putline_scenario(p);
+  scenario.options.reliable.enabled = true;
+  scenario.options.reliable.rto_initial = sim::milliseconds(4);
+  scenario.options.fault_plan.enabled = true;
+  scenario.options.fault_plan.data.drop = 0.6;
+  auto result = baseline::run_scenario(scenario, true, sim::seconds(30));
+  ASSERT_TRUE(result.all_completed) << result.stats.to_string();
+  EXPECT_GT(result.metrics.counter_or("retransmissions"), 0u);
+  EXPECT_GE(result.stats.aborts_timeout, 1u) << result.stats.to_string();
+  EXPECT_GE(result.stats.sequential_forks, 1u) << result.stats.to_string();
+  // The fault-free sequential run is the Theorem 1 reference.
+  auto reference =
+      baseline::run_scenario(core::putline_scenario(p), false);
+  ASSERT_TRUE(reference.all_completed);
+  std::string why;
+  EXPECT_TRUE(trace::compare_traces(reference.trace, result.trace, &why))
+      << why;
+}
+
 TEST(Liveness, SpeculationDisabledNeverForksSpeculatively) {
   core::PutLineParams p;
   p.lines = 4;

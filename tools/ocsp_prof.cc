@@ -9,8 +9,14 @@
 //
 // Usage:
 //   ocsp_prof [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual
-//                         |commute_registry]
+//                         |commute_registry|storm|chaos]
 //             [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]
+//
+// `storm` runs the abort-storm workload with the adaptive governor enabled
+// (per-site scorecards show the demote/promote cycles); `chaos` runs
+// putline under a seeded fault plan with the reliable transport on, so the
+// liveness counters (faults injected, retransmissions, duplicates
+// suppressed, crashes) are populated.
 //
 // Default output is the human-readable report; --json emits one
 // ocsp-prof-v1 document (to stdout, or to the given path).
@@ -21,6 +27,7 @@
 
 #include "baseline/scenario.h"
 #include "core/workloads.h"
+#include "fault/plan.h"
 #include "obs/attribution.h"
 #include "obs/prof_json.h"
 #include "obs/profile.h"
@@ -39,7 +46,7 @@ struct Options {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual|commute_registry]"
+      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual|commute_registry|storm|chaos]"
       " [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]\n",
       argv0);
   return 2;
@@ -92,6 +99,24 @@ ocsp::baseline::Scenario make_scenario(const Options& o) {
     p.crossing = true;
     p.seed = o.seed;
     return core::mutual_scenario(p);
+  }
+  if (o.workload == "storm") {
+    core::AbortStormParams p;
+    p.calls = 30 * o.scale;
+    p.seed = o.seed;
+    p.spec.governor_enabled = true;
+    return core::abort_storm_scenario(p);
+  }
+  if (o.workload == "chaos") {
+    core::PutLineParams p;
+    p.lines = 8 * o.scale;
+    p.seed = o.seed;
+    p.spec.control_retry = true;
+    auto scenario = core::putline_scenario(p);
+    scenario.options.reliable.enabled = true;
+    scenario.options.fault_plan =
+        fault::make_chaos_plan(o.seed, {}, /*num_processes=*/2);
+    return scenario;
   }
   std::fprintf(stderr, "ocsp_prof: unknown workload '%s'\n",
                o.workload.c_str());
