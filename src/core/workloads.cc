@@ -544,6 +544,70 @@ baseline::Scenario abort_storm_scenario(const AbortStormParams& params) {
   return scenario;
 }
 
+// ---------------------------------------------------------------------------
+// Compute-bound fan-out (parallel-executor speedup workload)
+// ---------------------------------------------------------------------------
+
+std::string compute_fanout_client(int i) { return "W" + std::to_string(i); }
+std::string compute_fanout_server(int i) { return "S" + std::to_string(i); }
+
+baseline::Scenario compute_fanout_scenario(const ComputeFanoutParams& params) {
+  OCSP_CHECK(params.pairs >= 1);
+  OCSP_CHECK(params.calls >= 1);
+
+  baseline::Scenario scenario;
+  scenario.options.seed = params.seed;
+  scenario.options.spec = params.spec;
+  scenario.options.default_link = make_link(params.net);
+
+  // Clients first: ids 0..pairs-1, so id mod workers round-robins the
+  // compute-heavy processes across shards.
+  for (int c = 0; c < params.pairs; ++c) {
+    std::vector<csp::StmtPtr> body;
+    if (params.compute > 0) body.push_back(compute(params.compute));
+    body.push_back(
+        call(compute_fanout_server(c), "Work", {var("i")}, "R"));
+    body.push_back(assign("acc", add(var("acc"), var("R"))));
+    body.push_back(assign("i", add(var("i"), lit(Value(1)))));
+
+    csp::StmtPtr client = seq({
+        assign("i", lit(Value(0))),
+        assign("acc", lit(Value(0))),
+        while_(lt(var("i"), lit(Value(params.calls))), seq(std::move(body))),
+        print(list_of({lit(Value("fanout")), lit(Value(c)), var("acc")})),
+    });
+
+    if (params.stream) {
+      transform::StreamingOptions opts;
+      // The server echoes its argument, so the loop index at the fork is
+      // the exact guess (except on deliberate miss_period misses).
+      opts.predictor = [](const csp::CallStmt&) {
+        return csp::PredictorSpec::from_expr(var("i"));
+      };
+      opts.timeout = params.spec.fork_timeout;
+      client = transform::stream_calls(client, opts).program;
+    }
+    scenario.add(compute_fanout_client(c), std::move(client));
+  }
+
+  // Reply depends only on the argument: the committed trace is identical
+  // however speculation (or the executor's sharding) fares.
+  const std::int64_t period = params.miss_period;
+  std::map<std::string, csp::NativeHandler> handlers;
+  handlers["Work"] = [period](const csp::ValueList& args, csp::Env&,
+                              util::Rng&) {
+    const std::int64_t i = args.empty() ? 0 : args[0].as_int();
+    if (period > 0 && (i + 1) % period == 0) return Value(std::int64_t{0});
+    return Value(i);
+  };
+  csp::ServiceConfig sc;
+  sc.service_time = params.service_time;
+  for (int c = 0; c < params.pairs; ++c) {
+    scenario.add(compute_fanout_server(c), csp::native_service(handlers, sc));
+  }
+  return scenario;
+}
+
 analysis::CommuteContext scenario_commute_context(
     const baseline::Scenario& scenario, const std::string& self) {
   std::vector<analysis::SystemProcess> procs;

@@ -224,6 +224,39 @@ struct AbortStormParams {
 
 baseline::Scenario abort_storm_scenario(const AbortStormParams& params);
 
+// ---------------------------------------------------------------------------
+// Compute-bound fan-out: the parallel executor's speedup workload.  `pairs`
+// independent client/server pairs; each client alternates a Compute burst
+// with a streamed call to its own server, so virtual time is dominated by
+// local compute that exec::ParallelRuntime turns into real busy-work
+// (ParallelOptions::compute_scale) spread across shards.  Clients are
+// registered before servers so round-robin sharding (id mod workers)
+// spreads the compute evenly.  The server echoes its argument and the
+// streamed fork guesses the loop index, so with miss_period == 0 every
+// guess verifies; miss_period k makes every k-th reply 0 instead,
+// deterministically injecting aborts (and discarded compute) into the
+// curve.  Fully deterministic either way: the committed trace is the same
+// at any worker count and any compute_scale.
+// ---------------------------------------------------------------------------
+struct ComputeFanoutParams {
+  int pairs = 8;  ///< independent client/server pairs
+  int calls = 6;  ///< compute+call iterations per client
+  sim::Time compute = sim::microseconds(200);  ///< per-iteration local work
+  sim::Time service_time = sim::microseconds(10);
+  /// Every miss_period-th reply breaks the guess (0 disables misses).
+  int miss_period = 0;
+  bool stream = true;
+  NetworkParams net;
+  std::uint64_t seed = 42;
+  spec::SpecConfig spec;
+};
+
+baseline::Scenario compute_fanout_scenario(const ComputeFanoutParams& params);
+
+/// Name of the i-th fan-out client ("W0", ...) / server ("S0", ...).
+std::string compute_fanout_client(int i);
+std::string compute_fanout_server(int i);
+
 /// Cross-process commutativity context for one process of a scenario:
 /// declared summaries (ScenarioProcess::commute) unioned with what
 /// analysis::infer_summaries extracts from each program, peer ops from

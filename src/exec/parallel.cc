@@ -1,0 +1,540 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/merge.h"
+#include "sim/scheduler.h"
+#include "speculation/messages.h"
+#include "trace/timeline.h"
+#include "util/check.h"
+
+namespace ocsp::exec {
+
+namespace {
+
+std::int64_t ns_since(const std::chrono::steady_clock::time_point& epoch) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+}  // namespace
+
+// One shard: a single-threaded slice of the run.  Owns the event kernel,
+// timeline, recorder, inbox, and sender-side link state for the processes
+// assigned to it.  During a window exactly one thread touches it (its
+// worker); between windows, only the coordinator — except the inbox, whose
+// mutex admits remote senders at any time.
+class ParallelRuntime::Shard final : public spec::ExecContext {
+ public:
+  Shard(ParallelRuntime& owner, int index) : owner_(owner), index_(index) {}
+
+  sim::Scheduler& scheduler() override { return sched_; }
+  trace::Timeline& timeline() override { return timeline_; }
+  obs::RunRecorder& recorder() override { return *recorder_; }
+  ProcessId find(const std::string& name) const override {
+    return owner_.find(name);
+  }
+  std::vector<ProcessId> all_process_ids() const override {
+    return owner_.all_process_ids();
+  }
+  MsgId net_send(ProcessId src, ProcessId dst,
+                 net::MessagePtr payload) override {
+    return owner_.send_from_shard(*this, src, dst, std::move(payload));
+  }
+  // No reliable transport here (checked by run_scenario_parallel); a
+  // disabled transport is a plain network send in the sequential runtime
+  // too, so both planes share one path.
+  MsgId transport_send(ProcessId src, ProcessId dst,
+                       net::MessagePtr payload) override {
+    return owner_.send_from_shard(*this, src, dst, std::move(payload));
+  }
+  void on_compute(ProcessId /*id*/, sim::Time duration) override {
+    owner_.burn(duration);
+  }
+
+  /// Sender-side per-link state; seeded lazily exactly as
+  /// net::Network::link_state seeds its private equivalent.
+  struct LinkState {
+    util::Rng rng{0};
+    std::uint64_t seq = 0;
+    sim::Time fifo_horizon = 0;
+  };
+  LinkState& link_state(ProcessId src, ProcessId dst) {
+    auto it = link_state_.find({src, dst});
+    if (it == link_state_.end()) {
+      it = link_state_.emplace(std::make_pair(src, dst), LinkState{}).first;
+      it->second.rng =
+          net::Network::link_stream(owner_.link_seed_base_, src, dst);
+    }
+    return it->second;
+  }
+
+  ParallelRuntime& owner_;
+  int index_;
+  sim::Scheduler sched_;
+  trace::Timeline timeline_;
+  std::shared_ptr<obs::RunRecorder> recorder_ =
+      std::make_shared<obs::RunRecorder>();
+  std::map<std::pair<ProcessId, ProcessId>, LinkState> link_state_;
+  net::NetworkStats net_stats_;
+  /// Cross-shard envelope handoff: remote senders push under the mutex,
+  /// the coordinator drains at the window barrier.
+  std::mutex inbox_mu_;
+  std::vector<net::Envelope> inbox_;
+};
+
+ParallelRuntime::ParallelRuntime(ParallelOptions options)
+    : options_(std::move(options)),
+      workers_(std::max(1, options_.workers)),
+      rng_(options_.seed),
+      // Mirrors spec::Runtime: the network stream is the first split off
+      // the run seed; the seed base is derived from it without advancing.
+      link_seed_base_(net::Network::link_seed_base(rng_.split())),
+      default_link_(options_.default_link) {
+  OCSP_CHECK(default_link_.latency != nullptr);
+  shards_.reserve(static_cast<std::size_t>(workers_));
+  for (int i = 0; i < workers_; ++i) {
+    shards_.push_back(std::make_unique<Shard>(*this, i));
+  }
+}
+
+ParallelRuntime::~ParallelRuntime() { stop_workers(); }
+
+ProcessId ParallelRuntime::add_process(
+    std::string name, csp::StmtPtr program, csp::Env initial_env,
+    std::optional<spec::SpecConfig> spec_override) {
+  OCSP_CHECK_MSG(!started_, "add_process after run() started");
+  OCSP_CHECK_MSG(names_.count(name) == 0, "duplicate process name");
+  const ProcessId id = static_cast<ProcessId>(processes_.size());
+  const spec::SpecConfig spec = spec_override.value_or(options_.spec);
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(id))];
+  processes_.push_back(std::make_unique<spec::SpeculativeProcess>(
+      shard, id, name, std::move(program), std::move(initial_env), spec,
+      rng_.split()));
+  names_.emplace(std::move(name), id);
+  return id;
+}
+
+void ParallelRuntime::set_link(ProcessId src, ProcessId dst,
+                               net::LinkConfig config) {
+  OCSP_CHECK_MSG(!started_, "set_link after run() started");
+  OCSP_CHECK(config.latency != nullptr);
+  links_[{src, dst}] = std::move(config);
+}
+
+const net::LinkConfig& ParallelRuntime::link_for(ProcessId src,
+                                                 ProcessId dst) const {
+  auto it = links_.find({src, dst});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+MsgId ParallelRuntime::send_from_shard(Shard& from, ProcessId src,
+                                       ProcessId dst,
+                                       net::MessagePtr payload) {
+  OCSP_CHECK(payload != nullptr);
+  // Replicates net::Network::send in per-link mode, draw for draw: id and
+  // priority from the link sequence number, drop then latency from the
+  // link's own stream, FIFO horizon per link.
+  Shard::LinkState& ls = from.link_state(src, dst);
+  const MsgId id = net::Network::link_msg_id(src, dst, ++ls.seq);
+  const net::LinkConfig& link = link_for(src, dst);
+  const sim::Time now = from.sched_.now();
+
+  ++from.net_stats_.messages_sent;
+  from.net_stats_.bytes_sent += payload->wire_size();
+
+  if (link.drop_probability > 0.0 &&
+      (!link.drop_filter || link.drop_filter(*payload)) &&
+      ls.rng.bernoulli(link.drop_probability)) {
+    ++from.net_stats_.messages_dropped;
+    net::Envelope env;
+    env.id = id;
+    env.src = src;
+    env.dst = dst;
+    env.sent_at = now;
+    env.delivered_at = 0;  // dropped
+    env.payload = std::move(payload);
+    from.recorder_->record(
+        spec::make_msg_event(obs::EventKind::kMsgSent, env, now));
+    return id;
+  }
+
+  sim::Time delay = link.latency->sample(ls.rng);
+  if (link.bandwidth_bytes_per_sec > 0) {
+    const double serialize =
+        static_cast<double>(payload->wire_size()) /
+        static_cast<double>(link.bandwidth_bytes_per_sec) * 1e9;
+    delay += static_cast<sim::Time>(serialize);
+  }
+
+  sim::Time deliver_at = now + delay;
+  if (link.fifo) {
+    deliver_at = std::max(deliver_at, ls.fifo_horizon);
+    ls.fifo_horizon = deliver_at;
+  }
+
+  net::Envelope env;
+  env.id = id;
+  env.src = src;
+  env.dst = dst;
+  env.sent_at = now;
+  env.delivered_at = deliver_at;
+  env.payload = std::move(payload);
+
+  from.recorder_->record(
+      spec::make_msg_event(obs::EventKind::kMsgSent, env, now));
+
+  Shard& dest = *shards_[static_cast<std::size_t>(shard_of(dst))];
+  if (&dest == &from) {
+    // Same shard: straight into our own queue; no other thread can touch
+    // it during the window.
+    schedule_delivery(dest, env);
+  } else {
+    // Cross-shard: delivered_at >= now + lookahead lands at or after the
+    // window fence, so parking it in the inbox until the barrier never
+    // delays it past its due time.
+    std::lock_guard<std::mutex> lk(dest.inbox_mu_);
+    dest.inbox_.push_back(std::move(env));
+  }
+  return id;
+}
+
+void ParallelRuntime::schedule_delivery(Shard& dest,
+                                        const net::Envelope& env) {
+  // The same-time priority is a pure function of the message identity,
+  // recoverable from the deterministic id (low 32 bits = link sequence).
+  const std::uint64_t prio =
+      net::Network::link_prio(env.src, env.dst, env.id & 0xffffffff);
+  dest.sched_.at(env.delivered_at, prio, [this, &dest, env]() {
+    // Counter, handler, tracer — the sequential network's exact order.
+    ++dest.net_stats_.messages_delivered;
+    processes_[env.dst]->on_message(env);
+    dest.recorder_->record(spec::make_msg_event(
+        obs::EventKind::kMsgDelivered, env, dest.sched_.now()));
+  });
+}
+
+void ParallelRuntime::burn(sim::Time duration) const {
+  if (options_.compute_scale <= 0.0 || duration <= 0) return;
+  const auto spin = std::chrono::nanoseconds(static_cast<std::int64_t>(
+      static_cast<double>(duration) * options_.compute_scale));
+  // This wall time stands in for the real computation a Compute statement
+  // models, and is what the speedup curves parallelize.  It never touches
+  // virtual time, so traces and counters are scale-independent.  Sleeping
+  // yields the core (overlap is visible even on a host with fewer cores
+  // than workers); spinning occupies it (raw CPU scaling).
+  if (options_.compute_sleep) {
+    std::this_thread::sleep_for(spin);
+    return;
+  }
+  const auto until = std::chrono::steady_clock::now() + spin;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+void ParallelRuntime::start_workers() {
+  if (workers_ <= 1 || !pool_.empty()) return;
+  pool_.reserve(static_cast<std::size_t>(workers_ - 1));
+  // Shard 0 runs on the coordinator thread; shards 1..N-1 get workers.
+  for (int i = 1; i < workers_; ++i) {
+    pool_.emplace_back([this, i]() {
+      std::uint64_t seen = 0;
+      for (;;) {
+        sim::Time target = 0;
+        {
+          std::unique_lock<std::mutex> lk(bar_.m);
+          bar_.cv.wait(lk,
+                       [&]() { return bar_.shutdown || bar_.epoch != seen; });
+          if (bar_.shutdown) return;
+          seen = bar_.epoch;
+          target = bar_.target;
+        }
+        shards_[static_cast<std::size_t>(i)]->sched_.run_until(target);
+        {
+          std::lock_guard<std::mutex> lk(bar_.m);
+          if (--bar_.running == 0) bar_.cv.notify_all();
+        }
+      }
+    });
+  }
+}
+
+void ParallelRuntime::stop_workers() {
+  if (pool_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(bar_.m);
+    bar_.shutdown = true;
+  }
+  bar_.cv.notify_all();
+  for (auto& t : pool_) t.join();
+  pool_.clear();
+}
+
+void ParallelRuntime::run_window(sim::Time target) {
+  if (workers_ > 1) {
+    {
+      std::lock_guard<std::mutex> lk(bar_.m);
+      bar_.target = target;
+      bar_.running = workers_ - 1;
+      ++bar_.epoch;
+    }
+    bar_.cv.notify_all();
+  }
+  shards_[0]->sched_.run_until(target);
+  if (workers_ > 1) {
+    std::unique_lock<std::mutex> lk(bar_.m);
+    bar_.cv.wait(lk, [&]() { return bar_.running == 0; });
+  }
+}
+
+sim::Time ParallelRuntime::run(sim::Time deadline) {
+  OCSP_CHECK_MSG(!started_, "ParallelRuntime::run is single-shot");
+  started_ = true;
+  lookahead_ = default_link_.latency->min_delay();
+  for (const auto& [pair, link] : links_) {
+    lookahead_ = std::min(lookahead_, link.latency->min_delay());
+  }
+  OCSP_CHECK_MSG(lookahead_ > 0,
+                 "parallel execution needs a positive minimum link latency");
+
+  const auto epoch = std::chrono::steady_clock::now();
+  for (auto& s : shards_) {
+    s->recorder_->set_wall_clock([epoch]() { return ns_since(epoch); });
+  }
+  for (auto& p : processes_) p->start();
+  start_workers();
+
+  std::vector<std::uint64_t> prev_fired(shards_.size(), 0);
+  sim::Time prev_gvt = 0;
+  bool first_window = true;
+  for (;;) {
+    // (1) Drain cross-shard inboxes.  Workers are parked at the barrier,
+    // so touching shard schedulers here is single-threaded.
+    sim::Time min_drained = sim::kTimeNever;
+    for (auto& s : shards_) {
+      std::vector<net::Envelope> pending;
+      {
+        std::lock_guard<std::mutex> lk(s->inbox_mu_);
+        pending.swap(s->inbox_);
+      }
+      for (net::Envelope& env : pending) {
+        min_drained = std::min(min_drained, env.delivered_at);
+        schedule_delivery(*s, env);
+      }
+    }
+
+    // (2) GVT: earliest pending event anywhere.  Every drained delivery is
+    // already enqueued, so nothing in flight can precede it.
+    sim::Time gvt = sim::kTimeNever;
+    for (auto& s : shards_) gvt = std::min(gvt, s->sched_.next_time());
+    if (gvt == sim::kTimeNever) break;
+    if (deadline != sim::kTimeNever && gvt > deadline) break;
+    if (first_window || gvt > prev_gvt) ++gvt_advances_;
+    first_window = false;
+    prev_gvt = gvt;
+
+    // (3) Fossil-collect checkpoints below the speculation floor, clamped
+    // to GVT so the fence never outruns commit finality.
+    sim::Time floor = sim::kTimeNever;
+    for (auto& p : processes_) {
+      floor = std::min(floor, p->speculation_floor());
+    }
+    const sim::Time fence = std::min(floor, gvt);
+    std::uint64_t freed = 0;
+    for (auto& p : processes_) freed += p->fossil_collect(fence);
+
+    // (4) Run the window [gvt, end) on all shards concurrently.  Events in
+    // it are cross-shard independent: anything they send lands >= gvt + L.
+    const sim::Time end = deadline == sim::kTimeNever
+                              ? gvt + lookahead_
+                              : std::min(gvt + lookahead_, deadline + 1);
+    run_window(end - 1);
+
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::uint64_t total = shards_[i]->sched_.fired_count();
+      fired += total - prev_fired[i];
+      prev_fired[i] = total;
+    }
+    windows_.push_back(
+        WindowStats{gvt, end, fence, min_drained, fired, freed});
+  }
+
+  if (deadline != sim::kTimeNever) return deadline;
+  sim::Time latest = 0;
+  for (auto& s : shards_) latest = std::max(latest, s->sched_.now());
+  return latest;
+}
+
+spec::SpeculativeProcess& ParallelRuntime::process(ProcessId id) {
+  OCSP_CHECK(id < processes_.size());
+  return *processes_[id];
+}
+
+const spec::SpeculativeProcess& ParallelRuntime::process(
+    ProcessId id) const {
+  OCSP_CHECK(id < processes_.size());
+  return *processes_[id];
+}
+
+ProcessId ParallelRuntime::find(const std::string& name) const {
+  auto it = names_.find(name);
+  OCSP_CHECK_MSG(it != names_.end(), ("unknown process: " + name).c_str());
+  return it->second;
+}
+
+std::vector<ProcessId> ParallelRuntime::all_process_ids() const {
+  std::vector<ProcessId> out;
+  out.reserve(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    out.push_back(static_cast<ProcessId>(i));
+  }
+  return out;
+}
+
+std::vector<std::string> ParallelRuntime::process_names() const {
+  std::vector<std::string> names;
+  names.reserve(processes_.size());
+  for (const auto& p : processes_) names.push_back(p->name());
+  return names;
+}
+
+trace::CommittedTrace ParallelRuntime::committed_trace() const {
+  trace::CommittedTrace trace;
+  for (const auto& p : processes_) {
+    for (const auto& e : p->committed_events()) trace.append(e);
+  }
+  return trace;
+}
+
+spec::SpecStats ParallelRuntime::total_stats() const {
+  spec::SpecStats total;
+  for (const auto& p : processes_) total.merge(p->stats());
+  return total;
+}
+
+obs::MetricsRegistry ParallelRuntime::metrics() const {
+  obs::MetricsRegistry m;
+  for (const auto& p : processes_) m.merge(p->metrics_view());
+  const std::uint64_t verified = m.counter_or("guesses_verified");
+  const std::uint64_t failed = m.counter_or("guesses_failed");
+  if (verified + failed > 0) {
+    m.gauge("guess_accuracy") = static_cast<double>(verified) /
+                                static_cast<double>(verified + failed);
+  }
+  obs::update_sharing_ratio_gauge(m);
+  std::uint64_t fired = 0;
+  std::size_t peak = 0;
+  for (const auto& s : shards_) {
+    fired += s->sched_.fired_count();
+    peak = std::max(peak, s->sched_.peak_pending());
+  }
+  m.counter("sim_events_fired") += fired;
+  m.gauge("sim_peak_pending") = static_cast<double>(peak);
+  const net::NetworkStats net = network_stats();
+  m.counter("net_messages_sent") += net.messages_sent;
+  m.counter("net_messages_delivered") += net.messages_delivered;
+  m.counter("net_messages_dropped") += net.messages_dropped;
+  m.counter("net_bytes_sent") += net.bytes_sent;
+  m.counter("gvt_windows") += windows_.size();
+  m.counter("gvt_advances") += gvt_advances_;
+  return m;
+}
+
+sim::Time ParallelRuntime::last_completion_time() const {
+  sim::Time latest = 0;
+  for (const auto& p : processes_) {
+    if (p->completed()) latest = std::max(latest, p->completion_time());
+  }
+  return latest;
+}
+
+bool ParallelRuntime::all_clients_completed() const {
+  bool any = false;
+  for (const auto& p : processes_) {
+    if (p->completed()) any = true;
+  }
+  return any;
+}
+
+std::size_t ParallelRuntime::timeline_rollbacks() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) {
+    n += s->timeline_.count(trace::TimelineEntry::Kind::kRollback);
+  }
+  return n;
+}
+
+net::NetworkStats ParallelRuntime::network_stats() const {
+  net::NetworkStats total;
+  for (const auto& s : shards_) {
+    total.messages_sent += s->net_stats_.messages_sent;
+    total.messages_delivered += s->net_stats_.messages_delivered;
+    total.messages_dropped += s->net_stats_.messages_dropped;
+    total.bytes_sent += s->net_stats_.bytes_sent;
+  }
+  return total;
+}
+
+std::shared_ptr<obs::RunRecorder> ParallelRuntime::merged_recorder() const {
+  std::vector<const obs::RunRecorder*> parts;
+  parts.reserve(shards_.size());
+  for (const auto& s : shards_) parts.push_back(s->recorder_.get());
+  return obs::merge_recorders(parts);
+}
+
+std::shared_ptr<obs::RunRecorder> ParallelRuntime::shard_recorder(
+    int shard) const {
+  OCSP_CHECK(shard >= 0 && shard < workers_);
+  return shards_[static_cast<std::size_t>(shard)]->recorder_;
+}
+
+ParallelRunResult run_scenario_parallel(const baseline::Scenario& scenario,
+                                        int workers, bool speculation,
+                                        double compute_scale,
+                                        sim::Time deadline,
+                                        bool compute_sleep) {
+  OCSP_CHECK_MSG(!scenario.options.fault_plan.enabled,
+                 "fault plans are not supported by the parallel executor");
+  OCSP_CHECK_MSG(!scenario.options.reliable.enabled,
+                 "reliable transport is not supported by the parallel "
+                 "executor");
+  ParallelOptions options;
+  options.seed = scenario.options.seed;
+  options.workers = workers;
+  options.default_link = scenario.options.default_link;
+  options.spec = scenario.options.spec;
+  options.spec.speculation_enabled = speculation;
+  options.compute_scale = compute_scale;
+  options.compute_sleep = compute_sleep;
+
+  ParallelRuntime rt(options);
+  for (const auto& p : scenario.processes) {
+    rt.add_process(p.name, p.program, p.env);
+  }
+  for (const auto& link : scenario.links) {
+    rt.set_link(rt.find(link.src), rt.find(link.dst), link.config);
+  }
+
+  ParallelRunResult out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.result.finished_at = rt.run(deadline);
+  out.wall_ns = ns_since(t0);
+  out.result.last_completion = rt.last_completion_time();
+  out.result.all_completed = rt.all_clients_completed();
+  out.result.stats = rt.total_stats();
+  out.result.trace = rt.committed_trace();
+  out.result.network = rt.network_stats();
+  out.result.timeline_rollbacks = rt.timeline_rollbacks();
+  out.result.metrics = rt.metrics();
+  out.result.recorder = rt.merged_recorder();
+  out.result.process_names = rt.process_names();
+  out.windows = rt.windows();
+  out.workers = rt.workers();
+  out.lookahead = rt.lookahead();
+  return out;
+}
+
+}  // namespace ocsp::exec

@@ -1,0 +1,242 @@
+// exec::ParallelRuntime: the speculation protocol on sharded worker threads.
+//
+// The deterministic simulator (spec::Runtime) runs every process on one
+// event kernel; this executor partitions processes across shards — one
+// discrete-event scheduler, timeline, and recorder per shard — and runs the
+// shards on real threads.  The protocol implementation is untouched:
+// SpeculativeProcess talks to its shard through the same spec::ExecContext
+// interface the sequential runtime implements.
+//
+// Synchronization is a conservative window barrier (bounded-lag / YAWNS
+// style), which in OCSP's setting is exactly a GVT fence:
+//
+//   * lookahead L = the minimum latency any configured link can produce
+//     (net::Network::min_link_delay); a message sent at virtual time t is
+//     delivered no earlier than t + L.
+//   * GVT = min over shards of the earliest pending event.  All events in
+//     the window [GVT, GVT + L) are mutually independent across shards —
+//     any message one of them sends lands at or after GVT + L — so the
+//     shards execute the window concurrently with no locks on the fast
+//     path.  At the window barrier the coordinator drains the cross-shard
+//     inboxes (MPSC handoff, one mutex per shard touched only by remote
+//     senders), recomputes GVT, and opens the next window.
+//   * Commit/abort/cascade below GVT are final: no in-flight message can
+//     land before it, which is what makes the fence a GVT in the Time Warp
+//     sense.  Checkpoint fossil collection runs at each fence
+//     (SpeculativeProcess::fossil_collect) below the speculation floor,
+//     clamped to GVT.
+//
+// Determinism: the committed trace — and, with one shard, the entire
+// recorder stream — is bit-identical to the sequential simulator running
+// with RuntimeOptions::per_link_net = true.  Per-link network mode makes
+// message ids, latency/loss draws, and same-time delivery priorities pure
+// functions of (src, dst, per-link sequence number), so the delivery
+// schedule does not depend on the order in which an executor discovers
+// sends.  Within a shard, the scheduler's (when, prio, seq) order preserves
+// the relative firing order of the shard's processes exactly as in the
+// global sequential run (deliveries carry unique (when, prio) keys; local
+// events of one process keep their relative insertion order).
+//
+// Memory ordering: all shard state (schedulers, processes, recorders,
+// link-state maps) is owned by exactly one thread during a window and by
+// the coordinator between windows; every ownership handoff goes through
+// the barrier mutex, which establishes the happens-before edges.  The only
+// concurrently-touched structures are the per-shard inbox mutexes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "baseline/scenario.h"
+#include "csp/env.h"
+#include "csp/program.h"
+#include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "sim/time.h"
+#include "speculation/config.h"
+#include "speculation/process.h"
+#include "speculation/stats.h"
+#include "trace/events.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace ocsp::exec {
+
+struct ParallelOptions {
+  std::uint64_t seed = 42;
+  /// Worker threads == shards; processes are assigned round-robin
+  /// (ProcessId mod workers).  1 runs the single shard inline on the
+  /// calling thread — the fair serial baseline for speedup curves.
+  int workers = 1;
+  net::LinkConfig default_link;
+  spec::SpecConfig spec;
+  /// Wall-nanoseconds of real busy-spin per virtual nanosecond of Compute.
+  /// 0 (default) burns nothing: virtual time, traces, and counters are
+  /// identical either way — the scale only decides how much real work the
+  /// speedup benchmarks have to parallelize.
+  double compute_scale = 0.0;
+  /// Burn by sleeping instead of spinning.  A sleeping worker yields its
+  /// core, so the curve measures how well the executor *overlaps*
+  /// independent shards' compute — meaningful even when the host has fewer
+  /// cores than workers.  Spin (the default) measures raw CPU scaling and
+  /// needs as many cores as workers to show speedup.
+  bool compute_sleep = false;
+};
+
+/// One GVT window as the coordinator saw it (the fencing audit trail the
+/// GVT unit tests assert over).
+struct WindowStats {
+  sim::Time gvt = 0;  ///< earliest pending event when the window opened
+  sim::Time end = 0;  ///< exclusive window end: min(gvt + L, deadline + 1)
+  /// Fossil fence used this window: min(speculation floor, gvt).
+  sim::Time fossil_floor = sim::kTimeNever;
+  /// Earliest delivery time among cross-shard messages drained at this
+  /// window's barrier (kTimeNever if none); never below `gvt` — the
+  /// straggler-safety invariant.
+  sim::Time min_drained_delivery = sim::kTimeNever;
+  std::uint64_t fired = 0;             ///< events fired across all shards
+  std::uint64_t checkpoints_freed = 0; ///< fossil-collected checkpoints
+};
+
+class ParallelRuntime {
+ public:
+  explicit ParallelRuntime(ParallelOptions options = {});
+  ~ParallelRuntime();
+
+  ParallelRuntime(const ParallelRuntime&) = delete;
+  ParallelRuntime& operator=(const ParallelRuntime&) = delete;
+
+  /// Register a process (same contract as spec::Runtime::add_process).
+  /// RNG streams are split in registration order, mirroring the sequential
+  /// runtime's derivation exactly.
+  ProcessId add_process(std::string name, csp::StmtPtr program,
+                        csp::Env initial_env = {},
+                        std::optional<spec::SpecConfig> spec_override = {});
+
+  /// Override the link for the ordered pair (src, dst).  Call before run().
+  void set_link(ProcessId src, ProcessId dst, net::LinkConfig config);
+
+  /// Run to completion (or `deadline`).  Single-shot.  With a finite
+  /// deadline returns `deadline` (as the sequential run_until does); with
+  /// kTimeNever returns the final window's clock, which may exceed the
+  /// last event's time by up to one lookahead.
+  sim::Time run(sim::Time deadline = sim::kTimeNever);
+
+  int workers() const { return workers_; }
+  /// Window length: minimum latency over all configured links.  Valid
+  /// after run() started.
+  sim::Time lookahead() const { return lookahead_; }
+  const std::vector<WindowStats>& windows() const { return windows_; }
+
+  spec::SpeculativeProcess& process(ProcessId id);
+  const spec::SpeculativeProcess& process(ProcessId id) const;
+  ProcessId find(const std::string& name) const;
+  std::size_t process_count() const { return processes_.size(); }
+  std::vector<ProcessId> all_process_ids() const;
+  std::vector<std::string> process_names() const;
+
+  /// Committed observable events of every process (Theorem 1 oracle);
+  /// process-id append order, identical to spec::Runtime::committed_trace.
+  trace::CommittedTrace committed_trace() const;
+
+  spec::SpecStats total_stats() const;
+
+  /// Run-wide metrics, mirroring spec::Runtime::metrics, plus the
+  /// executor's own gvt_windows / gvt_advances counters.
+  obs::MetricsRegistry metrics() const;
+
+  sim::Time last_completion_time() const;
+  bool all_clients_completed() const;
+
+  /// Rollback entries across all shard timelines.
+  std::size_t timeline_rollbacks() const;
+
+  /// Network counters summed over shards (sends/drops count on the
+  /// sender's shard, deliveries on the receiver's).
+  net::NetworkStats network_stats() const;
+
+  /// All shard event streams merged by (virtual time, shard); wall_ns
+  /// stamps survive, so the dual-clock profiler runs on this unchanged.
+  std::shared_ptr<obs::RunRecorder> merged_recorder() const;
+
+  /// Per-shard recorder (shards=1 oracle compares stream 0 bit-for-bit).
+  std::shared_ptr<obs::RunRecorder> shard_recorder(int shard) const;
+
+  const ParallelOptions& options() const { return options_; }
+
+ private:
+  class Shard;
+
+  /// Epoch barrier between the coordinator and the worker pool.  All shard
+  /// state handoffs ride on `m`: workers read `target` under it and report
+  /// back under it, so everything a worker wrote during a window
+  /// happens-before everything the coordinator reads at the fence.
+  struct Barrier {
+    std::mutex m;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;
+    int running = 0;
+    sim::Time target = 0;
+    bool shutdown = false;
+  };
+
+  int shard_of(ProcessId id) const {
+    return static_cast<int>(id % static_cast<ProcessId>(workers_));
+  }
+  const net::LinkConfig& link_for(ProcessId src, ProcessId dst) const;
+  MsgId send_from_shard(Shard& from, ProcessId src, ProcessId dst,
+                        net::MessagePtr payload);
+  void schedule_delivery(Shard& dest, const net::Envelope& env);
+  void burn(sim::Time duration) const;
+  void run_window(sim::Time target);
+  void start_workers();
+  void stop_workers();
+
+  ParallelOptions options_;
+  int workers_ = 1;
+  util::Rng rng_;
+  std::uint64_t link_seed_base_ = 0;
+  net::LinkConfig default_link_;
+  std::map<std::pair<ProcessId, ProcessId>, net::LinkConfig> links_;
+  sim::Time lookahead_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<spec::SpeculativeProcess>> processes_;
+  std::map<std::string, ProcessId> names_;
+  std::vector<WindowStats> windows_;
+  std::uint64_t gvt_advances_ = 0;
+  bool started_ = false;
+  Barrier bar_;
+  std::vector<std::thread> pool_;
+};
+
+/// run_scenario's parallel counterpart: the RunResult fields are filled
+/// exactly as baseline::run_scenario fills them (finished_at excepted; see
+/// ParallelRuntime::run), plus the executor's wall clock and window log.
+struct ParallelRunResult {
+  baseline::RunResult result;
+  std::int64_t wall_ns = 0;  ///< real time spent inside run()
+  std::vector<WindowStats> windows;
+  int workers = 1;
+  sim::Time lookahead = 0;
+};
+
+/// Run `scenario` on `workers` threads.  Fault plans and the reliable
+/// transport are not supported here (checked); scenario.options.per_link_net
+/// is implied — compare against run_scenario on a scenario with that flag
+/// set to get the matching sequential schedule.
+ParallelRunResult run_scenario_parallel(const baseline::Scenario& scenario,
+                                        int workers, bool speculation = true,
+                                        double compute_scale = 0.0,
+                                        sim::Time deadline = sim::kTimeNever,
+                                        bool compute_sleep = false);
+
+}  // namespace ocsp::exec

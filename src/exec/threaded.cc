@@ -39,8 +39,7 @@ ProcessId ThreadedRuntime::find(const std::string& name) const {
 }
 
 MsgId ThreadedRuntime::next_msg_id() {
-  std::scoped_lock lock(reqid_mutex_);
-  return next_msg_id_++;
+  return next_msg_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::int64_t ThreadedRuntime::elapsed_ns() const {
@@ -102,11 +101,8 @@ void ThreadedRuntime::run_process(std::stop_token stop, ProcessId id) {
     using K = csp::Effect::Kind;
     switch (e.kind) {
       case K::kCall: {
-        std::int64_t reqid;
-        {
-          std::scoped_lock lock(reqid_mutex_);
-          reqid = next_reqid_++;
-        }
+        const std::int64_t reqid =
+            next_reqid_.fetch_add(1, std::memory_order_relaxed);
         const ProcessId dst = find(e.target);
         const MsgId mid = next_msg_id();
         trace::ObservableEvent ev;

@@ -17,6 +17,7 @@
 // without exercising any additional protocol path.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -116,12 +117,14 @@ class ThreadedRuntime {
   util::Rng rng_;
   std::vector<std::unique_ptr<Proc>> procs_;
   std::map<std::string, ProcessId> names_;
-  std::int64_t next_reqid_ = 1;
-  std::mutex reqid_mutex_;
+  /// Id counters are lock-free: reqids and msg ids only need uniqueness
+  /// and per-thread monotonicity, not a global order, so a shared mutex
+  /// here just serialized every message on one lock.
+  std::atomic<std::int64_t> next_reqid_{1};
 
   obs::RunRecorder recorder_;
   std::mutex recorder_mutex_;
-  MsgId next_msg_id_ = 1;
+  std::atomic<MsgId> next_msg_id_{1};
   std::chrono::steady_clock::time_point run_start_{};
 };
 

@@ -19,6 +19,13 @@ class LatencyModel {
 
   /// Propagation delay sample for one message (excludes bandwidth term).
   virtual sim::Time sample(util::Rng& rng) const = 0;
+
+  /// Smallest delay sample() can ever return.  The parallel executor's
+  /// conservative window width (lookahead) is the minimum of this over all
+  /// links: a message sent at virtual time t cannot arrive before
+  /// t + min_delay(), so events less than that far apart on different
+  /// shards are causally independent.
+  virtual sim::Time min_delay() const = 0;
 };
 
 using LatencyModelPtr = std::shared_ptr<const LatencyModel>;
@@ -28,6 +35,7 @@ class FixedLatency final : public LatencyModel {
  public:
   explicit FixedLatency(sim::Time delay);
   sim::Time sample(util::Rng& rng) const override;
+  sim::Time min_delay() const override { return delay_; }
 
  private:
   sim::Time delay_;
@@ -38,6 +46,7 @@ class UniformLatency final : public LatencyModel {
  public:
   UniformLatency(sim::Time lo, sim::Time hi);
   sim::Time sample(util::Rng& rng) const override;
+  sim::Time min_delay() const override { return lo_; }
 
  private:
   sim::Time lo_;
@@ -49,6 +58,7 @@ class ExponentialLatency final : public LatencyModel {
  public:
   ExponentialLatency(sim::Time base, sim::Time mean_extra);
   sim::Time sample(util::Rng& rng) const override;
+  sim::Time min_delay() const override { return base_; }
 
  private:
   sim::Time base_;

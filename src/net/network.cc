@@ -36,9 +36,66 @@ const LinkConfig& Network::link_for(ProcessId src, ProcessId dst) const {
   return it == links_.end() ? default_link_ : it->second;
 }
 
+void Network::enable_per_link_streams(std::uint64_t seed_base) {
+  OCSP_CHECK_MSG(stats_.messages_sent == 0,
+                 "enable_per_link_streams after the first send");
+  per_link_ = true;
+  per_link_seed_base_ = seed_base;
+}
+
+void Network::enable_per_link_streams() {
+  enable_per_link_streams(link_seed_base(rng_));
+}
+
+std::uint64_t Network::link_seed_base(const util::Rng& rng) {
+  // Derive from a copy so the caller's stream never advances: runs that
+  // never enable per-link mode draw exactly the same sequence as before.
+  util::Rng tmp = rng;
+  return tmp.next();
+}
+
+util::Rng Network::link_stream(std::uint64_t seed_base, ProcessId src,
+                               ProcessId dst) {
+  std::uint64_t state = seed_base ^ (static_cast<std::uint64_t>(src) << 32) ^
+                        (static_cast<std::uint64_t>(dst) << 1);
+  return util::Rng(util::splitmix64(state));
+}
+
+MsgId Network::link_msg_id(ProcessId src, ProcessId dst, std::uint64_t seq) {
+  return (static_cast<MsgId>(src & 0xffff) << 48) |
+         (static_cast<MsgId>(dst & 0xffff) << 32) | (seq & 0xffffffff);
+}
+
+std::uint64_t Network::link_prio(ProcessId src, ProcessId dst,
+                                 std::uint64_t seq) {
+  return (seq << 32) | (static_cast<std::uint64_t>(src & 0xffff) << 16) |
+         static_cast<std::uint64_t>(dst & 0xffff);
+}
+
+sim::Time Network::min_link_delay() const {
+  sim::Time lo = default_link_.latency->min_delay();
+  for (const auto& [pair, link] : links_) {
+    lo = std::min(lo, link.latency->min_delay());
+  }
+  return lo;
+}
+
+Network::LinkState& Network::link_state(ProcessId src, ProcessId dst) {
+  auto it = link_state_.find({src, dst});
+  if (it == link_state_.end()) {
+    it = link_state_.emplace(std::make_pair(src, dst), LinkState{}).first;
+    it->second.rng = link_stream(per_link_seed_base_, src, dst);
+  }
+  return it->second;
+}
+
 MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
   OCSP_CHECK(payload != nullptr);
-  const MsgId id = next_msg_id_++;
+  LinkState* ls = per_link_ ? &link_state(src, dst) : nullptr;
+  const MsgId id = ls ? link_msg_id(src, dst, ++ls->seq) : next_msg_id_++;
+  const std::uint64_t prio =
+      ls ? link_prio(src, dst, ls->seq) : sim::Scheduler::kDefaultPrio;
+  util::Rng& draws = ls ? ls->rng : rng_;
   const LinkConfig& link = link_for(src, dst);
 
   ++stats_.messages_sent;
@@ -46,7 +103,7 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
 
   if (link.drop_probability > 0.0 &&
       (!link.drop_filter || link.drop_filter(*payload)) &&
-      rng_.bernoulli(link.drop_probability)) {
+      draws.bernoulli(link.drop_probability)) {
     ++stats_.messages_dropped;
     OCSP_DLOG << "net: drop #" << id << " " << payload->kind() << " " << src
               << "->" << dst;
@@ -63,7 +120,7 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
     return id;
   }
 
-  sim::Time delay = link.latency->sample(rng_);
+  sim::Time delay = link.latency->sample(draws);
   if (link.bandwidth_bytes_per_sec > 0) {
     const double serialize =
         static_cast<double>(payload->wire_size()) /
@@ -73,7 +130,7 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
 
   sim::Time deliver_at = sched_.now() + delay;
   if (link.fifo) {
-    auto& horizon = fifo_horizon_[{src, dst}];
+    auto& horizon = ls ? ls->fifo_horizon : fifo_horizon_[{src, dst}];
     deliver_at = std::max(deliver_at, horizon);
     horizon = deliver_at;
   }
@@ -110,7 +167,7 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
   }
 
   if (send_tracer_) send_tracer_(env);
-  schedule_delivery(env);
+  schedule_delivery(env, prio);
 
   for (int i = 0; i < fault.duplicates; ++i) {
     ++stats_.faults_duplicated;
@@ -119,13 +176,13 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
         deliver_at + sim::microseconds(1 + fault_rng_.uniform_int(0, 200));
     OCSP_DLOG << "net: fault duplicate #" << id << " " << src << "->" << dst
               << " @" << dup.delivered_at << " (" << fault.cause << ")";
-    schedule_delivery(dup);
+    schedule_delivery(dup, prio);
   }
   return id;
 }
 
-void Network::schedule_delivery(const Envelope& env) {
-  sched_.at(env.delivered_at, [this, env]() {
+void Network::schedule_delivery(const Envelope& env, std::uint64_t prio) {
+  sched_.at(env.delivered_at, prio, [this, env]() {
     auto it = endpoints_.find(env.dst);
     OCSP_CHECK_MSG(it != endpoints_.end(), "delivery to unknown endpoint");
     ++stats_.messages_delivered;

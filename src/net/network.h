@@ -89,6 +89,54 @@ class Network {
   /// Queue a message for delivery.  Returns the assigned message id.
   MsgId send(ProcessId src, ProcessId dst, MessagePtr payload);
 
+  // ---- deterministic per-link mode ----------------------------------------
+  //
+  // By default, latency and loss draws come from one global stream and
+  // same-time deliveries tie-break on scheduler insertion order, so the
+  // delivery schedule depends on the global interleaving of sends.  That is
+  // fine for a single sequential executor, but it cannot be reproduced by a
+  // sharded executor that discovers the same sends in a different order.
+  //
+  // Per-link mode makes the schedule a pure function of each sender's
+  // program order: every ordered (src, dst) pair gets its own RNG stream
+  // (seeded from `seed_base` and the pair), and message ids and same-time
+  // delivery priorities are pure functions of (src, dst, per-link sequence
+  // number).  exec::ParallelRuntime computes the identical schedule with
+  // the static helpers below.
+
+  /// Switch send() to per-link determinism.  Call before the first send.
+  void enable_per_link_streams(std::uint64_t seed_base);
+
+  /// Same, with the seed base self-derived from this network's own stream
+  /// (link_seed_base(rng)); an executor that mirrors the stream derivation
+  /// obtains the identical base via the static helper.
+  void enable_per_link_streams();
+
+  bool per_link_streams() const { return per_link_; }
+
+  /// Seed base derived from the network RNG stream without advancing it
+  /// (the fault_rng_ copy-split idiom): both executors call this with the
+  /// stream split off the run seed and obtain the same base, while runs
+  /// that never enable per-link mode stay bit-identical.
+  static std::uint64_t link_seed_base(const util::Rng& rng);
+
+  /// Dedicated stream for the ordered pair (src, dst).
+  static util::Rng link_stream(std::uint64_t seed_base, ProcessId src,
+                               ProcessId dst);
+
+  /// Deterministic message id for the `seq`-th send on (src, dst).
+  static MsgId link_msg_id(ProcessId src, ProcessId dst, std::uint64_t seq);
+
+  /// Same-time delivery priority for the `seq`-th send on (src, dst).
+  /// Lower than Scheduler::kDefaultPrio, so at equal virtual times
+  /// deliveries fire before locally scheduled events in every executor.
+  static std::uint64_t link_prio(ProcessId src, ProcessId dst,
+                                 std::uint64_t seq);
+
+  /// Smallest latency any configured link (default or override) can ever
+  /// produce — the parallel executor's lookahead.
+  sim::Time min_link_delay() const;
+
   void set_tracer(Tracer tracer) { tracer_ = std::move(tracer); }
 
   /// Trace hook observing every accepted send (before queueing; dropped
@@ -104,8 +152,16 @@ class Network {
   sim::Scheduler& scheduler() { return sched_; }
 
  private:
+  /// Per-ordered-pair state of the deterministic per-link mode.
+  struct LinkState {
+    util::Rng rng{0};
+    std::uint64_t seq = 0;
+    sim::Time fifo_horizon = 0;
+  };
+
   const LinkConfig& link_for(ProcessId src, ProcessId dst) const;
-  void schedule_delivery(const Envelope& env);
+  LinkState& link_state(ProcessId src, ProcessId dst);
+  void schedule_delivery(const Envelope& env, std::uint64_t prio);
 
   sim::Scheduler& sched_;
   util::Rng rng_;
@@ -122,6 +178,9 @@ class Network {
   FaultHook fault_hook_;
   NetworkStats stats_;
   MsgId next_msg_id_ = 1;
+  bool per_link_ = false;
+  std::uint64_t per_link_seed_base_ = 0;
+  std::map<std::pair<ProcessId, ProcessId>, LinkState> link_state_;
 };
 
 }  // namespace ocsp::net

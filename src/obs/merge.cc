@@ -1,0 +1,26 @@
+#include "obs/merge.h"
+
+namespace ocsp::obs {
+
+std::shared_ptr<RunRecorder> merge_recorders(
+    const std::vector<const RunRecorder*>& parts) {
+  auto merged = std::make_shared<RunRecorder>();
+  std::vector<std::size_t> next(parts.size(), 0);
+  for (;;) {
+    std::size_t best = parts.size();
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (next[i] >= parts[i]->events().size()) continue;
+      // Strict < keeps the lowest part index on same-time ties.
+      if (best == parts.size() ||
+          parts[i]->events()[next[i]].when <
+              parts[best]->events()[next[best]].when) {
+        best = i;
+      }
+    }
+    if (best == parts.size()) break;
+    merged->record(parts[best]->events()[next[best]++]);
+  }
+  return merged;
+}
+
+}  // namespace ocsp::obs

@@ -8,9 +8,13 @@
 namespace ocsp::sim {
 
 Scheduler::Handle Scheduler::at(Time t, Callback cb) {
+  return at(t, kDefaultPrio, std::move(cb));
+}
+
+Scheduler::Handle Scheduler::at(Time t, std::uint64_t prio, Callback cb) {
   OCSP_CHECK_MSG(t >= now_, "cannot schedule into the past");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{t, seq, std::move(cb)});
+  queue_.push(Entry{t, prio, seq, std::move(cb)});
   pending_seqs_.insert(seq);
   peak_pending_ = std::max(peak_pending_, pending_seqs_.size());
   return Handle{seq};
@@ -47,6 +51,11 @@ bool Scheduler::pop_and_fire() {
 }
 
 bool Scheduler::step() { return pop_and_fire(); }
+
+Time Scheduler::next_time() {
+  drop_cancelled_top();
+  return queue_.empty() ? kTimeNever : queue_.top().when;
+}
 
 std::size_t Scheduler::run() {
   std::size_t fired = 0;

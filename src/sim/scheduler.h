@@ -4,6 +4,14 @@
 // (FIFO tie-break on a monotonically increasing sequence number), making
 // every simulation a pure function of its inputs.  Cancellation is lazy:
 // cancelled events stay in the heap but are skipped on pop.
+//
+// Same-time ties can optionally be broken by an explicit priority before
+// the insertion sequence (see at(t, prio, cb)).  Insertion order is a fine
+// tie-break inside ONE scheduler, but it is not reproducible across
+// executors that discover the same events in different orders (e.g. the
+// sharded parallel runtime draining cross-shard inboxes).  A priority that
+// is a pure function of the event's identity — not of when the scheduler
+// learned about it — makes the schedule executor-independent.
 #pragma once
 
 #include <cstdint>
@@ -26,8 +34,18 @@ class Scheduler {
     bool valid() const { return seq != 0; }
   };
 
+  /// Same-time tie-break priority of events scheduled without an explicit
+  /// priority: maximal, so prioritized events (smaller value) fire first.
+  static constexpr std::uint64_t kDefaultPrio =
+      ~static_cast<std::uint64_t>(0);
+
   /// Schedule `cb` at absolute virtual time `t` (>= now()).
   Handle at(Time t, Callback cb);
+
+  /// Schedule `cb` at `t` with an explicit same-time priority.  Events at
+  /// equal times fire in ascending `prio`; equal (t, prio) falls back to
+  /// insertion order.
+  Handle at(Time t, std::uint64_t prio, Callback cb);
 
   /// Schedule `cb` `delay` after now().
   Handle after(Time delay, Callback cb);
@@ -46,6 +64,10 @@ class Scheduler {
   /// `deadline` afterwards even if the queue drained early.
   std::size_t run_until(Time deadline);
 
+  /// Firing time of the earliest pending event, or kTimeNever when the
+  /// queue is empty.  Non-const: compacts lazily-cancelled heap tops.
+  Time next_time();
+
   Time now() const { return now_; }
   bool empty() const { return pending_seqs_.empty(); }
   std::size_t pending() const { return pending_seqs_.size(); }
@@ -57,12 +79,14 @@ class Scheduler {
  private:
   struct Entry {
     Time when;
+    std::uint64_t prio;
     std::uint64_t seq;
     Callback cb;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.prio != b.prio) return a.prio > b.prio;
       return a.seq > b.seq;
     }
   };

@@ -1,0 +1,63 @@
+// ExecContext: the narrow surface a SpeculativeProcess needs from whatever
+// runtime hosts it.
+//
+// The speculation protocol (process.cc and friends) is executor-agnostic:
+// it needs an event kernel, a way to put messages on the wire, name/id
+// resolution, and the observability sinks.  spec::Runtime implements this
+// over one global scheduler and network (the deterministic simulator);
+// exec::ParallelRuntime implements it per shard, with cross-shard sends
+// funneled through MPSC inboxes.  Keeping the interface this small is what
+// lets the same protocol code be the subject of the Theorem 1 oracle on
+// both executors.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "obs/recorder.h"
+#include "sim/scheduler.h"
+#include "sim/time.h"
+#include "trace/timeline.h"
+#include "util/ids.h"
+
+namespace ocsp::spec {
+
+class ExecContext {
+ public:
+  virtual ~ExecContext() = default;
+
+  /// Event kernel this process's steps, timers, and deliveries run on.
+  virtual sim::Scheduler& scheduler() = 0;
+
+  /// Rollback/abort timeline (diagnostics).
+  virtual trace::Timeline& timeline() = 0;
+
+  /// Structured event sink.
+  virtual obs::RunRecorder& recorder() = 0;
+
+  /// Name -> id resolution (must agree across all hosts of a run).
+  virtual ProcessId find(const std::string& name) const = 0;
+  virtual std::vector<ProcessId> all_process_ids() const = 0;
+
+  /// Control-plane send: straight to the network, bypassing the reliable
+  /// transport (the control plane's liveness story is the blind
+  /// re-broadcast of section 4.2.5, which retransmission would duplicate).
+  virtual MsgId net_send(ProcessId src, ProcessId dst,
+                         net::MessagePtr payload) = 0;
+
+  /// Data-plane send (through the reliable transport when enabled).
+  virtual MsgId transport_send(ProcessId src, ProcessId dst,
+                               net::MessagePtr payload) = 0;
+
+  /// Hook fired when a thread starts a Compute effect of `duration`
+  /// virtual nanoseconds.  The parallel executor burns real CPU here so
+  /// wall-clock speedup curves measure genuine work; the simulator ignores
+  /// it and stays instantaneous.
+  virtual void on_compute(ProcessId process, sim::Time duration) {
+    (void)process;
+    (void)duration;
+  }
+};
+
+}  // namespace ocsp::spec

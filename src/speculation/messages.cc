@@ -64,4 +64,36 @@ std::string ControlMessage::describe() const {
   return os.str();
 }
 
+obs::Event make_msg_event(obs::EventKind kind, const net::Envelope& env,
+                          sim::Time now) {
+  const bool sent = kind == obs::EventKind::kMsgSent;
+  obs::Event ev;
+  ev.kind = kind;
+  ev.when = now;
+  ev.process = sent ? env.src : env.dst;
+  ev.peer = sent ? env.dst : env.src;
+  ev.msg_id = env.id;
+  ev.a = env.payload->wire_size();
+  // A send observed with delivered_at == 0 was dropped by the link.
+  ev.b = sent && env.delivered_at == 0 ? 1 : 0;
+  if (auto ctl =
+          std::dynamic_pointer_cast<const ControlMessage>(env.payload)) {
+    switch (ctl->control) {
+      case ControlKind::kCommit:
+        ev.control = obs::ControlType::kCommit;
+        break;
+      case ControlKind::kAbort:
+        ev.control = obs::ControlType::kAbort;
+        break;
+      case ControlKind::kPrecedence:
+        ev.control = obs::ControlType::kPrecedence;
+        break;
+    }
+    ev.guess = obs::GuessRef{ctl->subject.owner, ctl->subject.incarnation,
+                             ctl->subject.index};
+  }
+  ev.detail = env.payload->kind();
+  return ev;
+}
+
 }  // namespace ocsp::spec

@@ -10,7 +10,10 @@
 #include <string>
 
 #include "csp/value.h"
+#include "net/envelope.h"
 #include "net/message.h"
+#include "obs/events.h"
+#include "sim/time.h"
 #include "speculation/guard_set.h"
 
 namespace ocsp::spec {
@@ -44,5 +47,12 @@ class ControlMessage final : public net::Message {
   std::string describe() const override;
   bool control_plane() const override { return true; }
 };
+
+/// Structured kMsgSent / kMsgDelivered event for one envelope, exactly as
+/// every executor must record it (the shards=1 bit-for-bit oracle compares
+/// these field by field): process/peer by direction, a = wire size, b = 1
+/// on a dropped send, control type and guess ref from control payloads.
+obs::Event make_msg_event(obs::EventKind kind, const net::Envelope& env,
+                          sim::Time now);
 
 }  // namespace ocsp::spec

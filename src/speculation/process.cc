@@ -12,7 +12,7 @@
 
 namespace ocsp::spec {
 
-SpeculativeProcess::SpeculativeProcess(Runtime& runtime, ProcessId id,
+SpeculativeProcess::SpeculativeProcess(ExecContext& runtime, ProcessId id,
                                        std::string name, csp::StmtPtr program,
                                        csp::Env initial_env, SpecConfig config,
                                        util::Rng rng)
@@ -257,6 +257,7 @@ bool SpeculativeProcess::handle_effect(ThreadCtx& t, csp::Effect effect) {
       t.phase = ThreadCtx::Phase::kAwaitCompute;
       const std::uint32_t idx = t.index;
       const sim::Time duration = effect.duration;
+      runtime_.on_compute(id_, duration);
       compute_timers_[idx] =
           runtime_.scheduler().after(duration, [this, idx, duration]() {
             auto it = threads_.find(idx);
@@ -460,6 +461,7 @@ std::uint64_t SpeculativeProcess::restore_cost_bytes(
 void SpeculativeProcess::take_checkpoint(const ThreadCtx& t) {
   ++stats_.checkpoints;
   ThreadCtx snapshot = t;
+  snapshot.checkpointed_at = runtime_.scheduler().now();
   const std::uint64_t payload = snapshot.machine.state_bytes();
   apply_state_strategy(snapshot.machine);
   {

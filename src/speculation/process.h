@@ -40,6 +40,7 @@
 #include "sim/scheduler.h"
 #include "speculation/cdg.h"
 #include "speculation/config.h"
+#include "speculation/context.h"
 #include "speculation/guard_set.h"
 #include "speculation/guess.h"
 #include "speculation/history.h"
@@ -133,11 +134,17 @@ struct ThreadCtx {
   /// Where (in the parent) this thread was created; used to decide which
   /// threads a rollback kills.
   StateIndex created_at;
+
+  /// Virtual time at which this ThreadCtx was snapshotted into the
+  /// checkpoint store (meaningful only on checkpoint copies).  The parallel
+  /// executor's fossil collector frees checkpoints whose time is below the
+  /// GVT-derived speculation floor.
+  sim::Time checkpointed_at = 0;
 };
 
 class SpeculativeProcess {
  public:
-  SpeculativeProcess(Runtime& runtime, ProcessId id, std::string name,
+  SpeculativeProcess(ExecContext& runtime, ProcessId id, std::string name,
                      csp::StmtPtr program, csp::Env initial_env,
                      SpecConfig config, util::Rng rng);
 
@@ -184,6 +191,27 @@ class SpeculativeProcess {
   /// order; Env copies are O(1)).  Differential tests compare these across
   /// state strategies.
   std::vector<std::pair<StateIndex, csp::Env>> checkpoint_envs() const;
+
+  // ---- GVT fossil collection (parallel executor) --------------------------
+
+  /// Earliest virtual time any still-possible rollback of this process can
+  /// restore to: the minimum, over every unresolved guess in any live
+  /// thread's rollback map, of the checkpoint time of the restore base
+  /// (the exact checkpoint at the rollback target, or the nearest earlier
+  /// same-thread checkpoint a replay would rebuild from — the same lookup
+  /// restore_thread performs).  kTimeNever when nothing is in doubt.
+  /// Checkpoints strictly below the run-wide minimum of this value can
+  /// never be restored again and are safe to fossil-collect.
+  sim::Time speculation_floor() const;
+
+  /// Free checkpoints taken strictly before `gvt` that no future rollback
+  /// can need: replay bases of unresolved rollback targets and the latest
+  /// checkpoint of each live thread are always retained.  Returns the
+  /// number freed (also counted in stats().checkpoints_fossil_collected).
+  std::size_t fossil_collect(sim::Time gvt);
+
+  /// Times of every retained checkpoint (fossil-collection tests).
+  std::vector<sim::Time> checkpoint_times() const;
 
  private:
   friend class Runtime;
@@ -322,7 +350,7 @@ class SpeculativeProcess {
   void record_work_discarded(const ThreadCtx& t, sim::Time discarded_ns,
                              const GuessId& cause);
 
-  Runtime& runtime_;
+  ExecContext& runtime_;
   ProcessId id_;
   std::string name_;
   SpecConfig config_;

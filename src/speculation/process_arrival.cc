@@ -71,7 +71,7 @@ void SpeculativeProcess::forward_control(ControlKind kind,
     if (dst == id_ || dst == from || dst == subject.owner) continue;
     ++stats_.control_sent;
     ++fanout;
-    runtime_.network().send(id_, dst, msg);
+    runtime_.net_send(id_, dst, msg);
   }
   if (fanout > 0) {
     obs::Event ev = make_event(obs::EventKind::kControlSent);

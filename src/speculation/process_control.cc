@@ -61,11 +61,11 @@ void SpeculativeProcess::distribute_control(ControlKind kind,
           static_cast<sim::Time>(i) * config_.control_retry_interval;
       if (i == 0) {
         ++stats_.control_sent;
-        runtime_.network().send(id_, dst, msg);
+        runtime_.net_send(id_, dst, msg);
       } else {
         runtime_.scheduler().after(delay, [this, dst, msg]() {
           ++stats_.control_sent;
-          runtime_.network().send(id_, dst, msg);
+          runtime_.net_send(id_, dst, msg);
         });
       }
     }
@@ -856,6 +856,97 @@ void SpeculativeProcess::gc_resolved_state() {
       ++it;
     }
   }
+}
+
+// ---- GVT fossil collection --------------------------------------------
+
+namespace {
+
+/// The checkpoint restore_thread would rebuild `target` from: the exact
+/// entry at the target, or the nearest earlier same-thread checkpoint (the
+/// replay base).  Null when neither exists.
+const ThreadCtx* restore_base(
+    const std::map<StateIndex, ThreadCtx>& checkpoints,
+    const StateIndex& target, StateIndex* base_key) {
+  auto cp = checkpoints.find(target);
+  if (cp != checkpoints.end()) {
+    if (base_key != nullptr) *base_key = cp->first;
+    return &cp->second;
+  }
+  for (auto it = checkpoints.upper_bound(target);
+       it != checkpoints.begin();) {
+    --it;
+    if (it->first.thread == target.thread) {
+      if (base_key != nullptr) *base_key = it->first;
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+sim::Time SpeculativeProcess::speculation_floor() const {
+  sim::Time floor = sim::kTimeNever;
+  for (const auto& [idx, t] : threads_) {
+    for (const auto& [g, rb] : t.rollbacks) {
+      if (history_.status(g) != GuessStatus::kUnknown) continue;
+      const ThreadCtx* base = restore_base(checkpoints_, rb, nullptr);
+      // A missing base means the rollback would fail anyway (it cannot in
+      // a correct run); be conservative and pin the floor at zero.
+      floor = std::min(floor, base ? base->checkpointed_at : sim::Time{0});
+    }
+  }
+  return floor;
+}
+
+std::size_t SpeculativeProcess::fossil_collect(sim::Time gvt) {
+  // Checkpoints a future rollback can still restore from:  the replay base
+  // of every unresolved rollback target (exactly restore_thread's lookup),
+  // plus the latest checkpoint of each live thread — a dependency acquired
+  // later replays from there, whatever its target turns out to be.
+  std::set<StateIndex> needed;
+  for (const auto& [idx, t] : threads_) {
+    for (const auto& [g, rb] : t.rollbacks) {
+      if (history_.status(g) != GuessStatus::kUnknown) continue;
+      StateIndex base_key{};
+      if (restore_base(checkpoints_, rb, &base_key) != nullptr) {
+        needed.insert(base_key);
+      }
+    }
+  }
+  std::map<std::uint32_t, StateIndex> latest;
+  for (const auto& [key, snapshot] : checkpoints_) {
+    auto th = threads_.find(key.thread);
+    if (th == threads_.end() ||
+        th->second.phase == ThreadCtx::Phase::kTerminated) {
+      continue;
+    }
+    auto [it, inserted] = latest.try_emplace(key.thread, key);
+    if (!inserted && it->second < key) it->second = key;
+  }
+  for (const auto& [thread, key] : latest) needed.insert(key);
+
+  std::size_t freed = 0;
+  for (auto it = checkpoints_.begin(); it != checkpoints_.end();) {
+    if (it->second.checkpointed_at < gvt && needed.count(it->first) == 0) {
+      it = checkpoints_.erase(it);
+      ++freed;
+    } else {
+      ++it;
+    }
+  }
+  stats_.checkpoints_fossil_collected += freed;
+  return freed;
+}
+
+std::vector<sim::Time> SpeculativeProcess::checkpoint_times() const {
+  std::vector<sim::Time> times;
+  times.reserve(checkpoints_.size());
+  for (const auto& [key, snapshot] : checkpoints_) {
+    times.push_back(snapshot.checkpointed_at);
+  }
+  return times;
 }
 
 }  // namespace ocsp::spec

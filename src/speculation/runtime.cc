@@ -22,6 +22,7 @@ Runtime::Runtime(RuntimeOptions options)
       transport_(network_, scheduler_, options_.reliable),
       recorder_(std::make_shared<obs::RunRecorder>()) {
   network_.set_default_link(options_.default_link);
+  if (options_.per_link_net) network_.enable_per_link_streams();
   network_.set_send_tracer([this](const net::Envelope& env) {
     record_msg_event(obs::EventKind::kMsgSent, env);
   });
@@ -74,6 +75,11 @@ MsgId Runtime::transport_send(ProcessId src, ProcessId dst,
   return transport_.send(src, dst, std::move(payload));
 }
 
+MsgId Runtime::net_send(ProcessId src, ProcessId dst,
+                        net::MessagePtr payload) {
+  return network_.send(src, dst, std::move(payload));
+}
+
 void Runtime::crash_process(ProcessId id) {
   OCSP_CHECK(id < processes_.size());
   transport_.set_down(id, true);
@@ -88,34 +94,7 @@ void Runtime::restart_process(ProcessId id) {
 
 void Runtime::record_msg_event(obs::EventKind kind,
                                const net::Envelope& env) {
-  const bool sent = kind == obs::EventKind::kMsgSent;
-  obs::Event ev;
-  ev.kind = kind;
-  ev.when = scheduler_.now();
-  ev.process = sent ? env.src : env.dst;
-  ev.peer = sent ? env.dst : env.src;
-  ev.msg_id = env.id;
-  ev.a = env.payload->wire_size();
-  // A send observed with delivered_at == 0 was dropped by the link.
-  ev.b = sent && env.delivered_at == 0 ? 1 : 0;
-  if (auto ctl =
-          std::dynamic_pointer_cast<const ControlMessage>(env.payload)) {
-    switch (ctl->control) {
-      case ControlKind::kCommit:
-        ev.control = obs::ControlType::kCommit;
-        break;
-      case ControlKind::kAbort:
-        ev.control = obs::ControlType::kAbort;
-        break;
-      case ControlKind::kPrecedence:
-        ev.control = obs::ControlType::kPrecedence;
-        break;
-    }
-    ev.guess = obs::GuessRef{ctl->subject.owner, ctl->subject.incarnation,
-                             ctl->subject.index};
-  }
-  ev.detail = env.payload->kind();
-  recorder_->record(std::move(ev));
+  recorder_->record(make_msg_event(kind, env, scheduler_.now()));
 }
 
 ProcessId Runtime::add_process(std::string name, csp::StmtPtr program,

@@ -20,6 +20,7 @@
 #include "obs/recorder.h"
 #include "sim/scheduler.h"
 #include "speculation/config.h"
+#include "speculation/context.h"
 #include "speculation/process.h"
 #include "speculation/stats.h"
 #include "trace/events.h"
@@ -38,9 +39,15 @@ struct RuntimeOptions {
   fault::FaultPlan fault_plan;
   /// Data-plane ack/retransmit transport (disabled by default).
   net::ReliableConfig reliable;
+  /// Deterministic per-link network streams (net::Network's per-link
+  /// mode).  Off by default — enabling it changes latency/loss draws and
+  /// same-time delivery ordering, so existing seeds keep their schedules.
+  /// The parallel executor always runs per-link; turn this on to obtain
+  /// the sequential run it must match trace-for-trace.
+  bool per_link_net = false;
 };
 
-class Runtime {
+class Runtime final : public ExecContext {
  public:
   explicit Runtime(RuntimeOptions options = {});
 
@@ -55,8 +62,8 @@ class Runtime {
   sim::Time run(sim::Time deadline = sim::kTimeNever);
 
   net::Network& network() { return network_; }
-  sim::Scheduler& scheduler() { return scheduler_; }
-  trace::Timeline& timeline() { return timeline_; }
+  sim::Scheduler& scheduler() override { return scheduler_; }
+  trace::Timeline& timeline() override { return timeline_; }
   net::ReliableTransport& transport() { return transport_; }
   const fault::Injector* injector() const { return injector_.get(); }
 
@@ -64,7 +71,12 @@ class Runtime {
   /// when the transport is disabled).  Control messages bypass this and go
   /// straight to the network — their liveness story is the blind
   /// re-broadcast of section 4.2.5, which retransmission would duplicate.
-  MsgId transport_send(ProcessId src, ProcessId dst, net::MessagePtr payload);
+  MsgId transport_send(ProcessId src, ProcessId dst,
+                       net::MessagePtr payload) override;
+
+  /// Control-plane send: straight onto the network.
+  MsgId net_send(ProcessId src, ProcessId dst,
+                 net::MessagePtr payload) override;
 
   /// Fault-plan crash orchestration: take the process (and its transport
   /// endpoint) down, and later restart it from its last committed state.
@@ -73,9 +85,9 @@ class Runtime {
 
   SpeculativeProcess& process(ProcessId id);
   const SpeculativeProcess& process(ProcessId id) const;
-  ProcessId find(const std::string& name) const;
+  ProcessId find(const std::string& name) const override;
   std::size_t process_count() const { return processes_.size(); }
-  std::vector<ProcessId> all_process_ids() const;
+  std::vector<ProcessId> all_process_ids() const override;
 
   /// Committed observable events of every process (Theorem 1 oracle).
   trace::CommittedTrace committed_trace() const;
@@ -86,7 +98,7 @@ class Runtime {
 
   /// Structured event sink shared by every process, the network tracers,
   /// and (via RunResult) the exporters.
-  obs::RunRecorder& recorder() { return *recorder_; }
+  obs::RunRecorder& recorder() override { return *recorder_; }
   const obs::RunRecorder& recorder() const { return *recorder_; }
   std::shared_ptr<obs::RunRecorder> shared_recorder() const {
     return recorder_;

@@ -18,6 +18,7 @@ std::string SpecStats::to_string() const {
      << " time=" << aborts_time_fault << " timeout=" << aborts_timeout
      << " crash=" << aborts_crash << " cascade=" << aborts_cascade << "]"
      << " rollbacks=" << rollbacks << " checkpoints=" << checkpoints
+     << " fossil=" << checkpoints_fossil_collected
      << " replays=" << replays << " orphans=" << orphans_discarded
      << " redelivered=" << messages_redelivered
      << " externals[buf=" << externals_buffered
@@ -61,6 +62,7 @@ void SpecStats::export_to(obs::MetricsRegistry& m) const {
   m.counter("precedence_sent") += precedence_sent;
   m.counter("checkpoints_pruned") += checkpoints_pruned;
   m.counter("log_entries_pruned") += log_entries_pruned;
+  m.counter("checkpoints_fossil_collected") += checkpoints_fossil_collected;
   m.counter("checkpoint_bytes_copied") += checkpoint_bytes_copied;
   m.counter("checkpoint_bytes_shared") += checkpoint_bytes_shared;
   m.counter("rollback_restore_bytes") += rollback_restore_bytes;

@@ -48,6 +48,9 @@ struct SpecStats {
   std::uint64_t precedence_sent = 0;
   std::uint64_t checkpoints_pruned = 0;
   std::uint64_t log_entries_pruned = 0;
+  /// Checkpoints freed by the parallel executor's GVT fossil collector
+  /// (disjoint from checkpoints_pruned, which counts gc_resolved_state).
+  std::uint64_t checkpoints_fossil_collected = 0;
 
   /// State-copy accounting (checkpoints, fork-time machine copies, and
   /// join re-execution state adoption).  Under StateStrategy::kDeepCopy
@@ -116,6 +119,7 @@ struct SpecStats {
     precedence_sent += o.precedence_sent;
     checkpoints_pruned += o.checkpoints_pruned;
     log_entries_pruned += o.log_entries_pruned;
+    checkpoints_fossil_collected += o.checkpoints_fossil_collected;
     checkpoint_bytes_copied += o.checkpoint_bytes_copied;
     checkpoint_bytes_shared += o.checkpoint_bytes_shared;
     rollback_restore_bytes += o.rollback_restore_bytes;

@@ -195,6 +195,48 @@ TEST(LatencyModels, UniformStaysInRange) {
   }
 }
 
+TEST(LatencyModels, MinDelayIsTheDistributionFloor) {
+  EXPECT_EQ(fixed_latency(42)->min_delay(), 42);
+  EXPECT_EQ(uniform_latency(10, 20)->min_delay(), 10);
+  EXPECT_EQ(exponential_latency(100, 50)->min_delay(), 100);
+}
+
+TEST(PerLinkStreams, HelpersArePureFunctionsOfIdentity) {
+  // Seed base derives from a *copy* of the stream: the original is intact.
+  util::Rng a(7);
+  util::Rng b(7);
+  const std::uint64_t base = Network::link_seed_base(a);
+  EXPECT_EQ(base, Network::link_seed_base(a));
+  EXPECT_EQ(a.next(), b.next());
+
+  // Distinct ordered pairs get distinct streams; same pair, same stream.
+  util::Rng s01 = Network::link_stream(base, 0, 1);
+  util::Rng s01b = Network::link_stream(base, 0, 1);
+  util::Rng s10 = Network::link_stream(base, 1, 0);
+  EXPECT_EQ(s01.next(), s01b.next());
+  EXPECT_NE(Network::link_stream(base, 0, 1).next(), s10.next());
+
+  // Ids and priorities encode (src, dst, seq) uniquely and recoverably.
+  const MsgId id = Network::link_msg_id(3, 4, 17);
+  EXPECT_EQ(id & 0xffffffff, 17u);
+  EXPECT_NE(id, Network::link_msg_id(4, 3, 17));
+  EXPECT_NE(Network::link_prio(3, 4, 17), Network::link_prio(3, 4, 18));
+  EXPECT_LT(Network::link_prio(3, 4, 17), sim::Scheduler::kDefaultPrio);
+}
+
+TEST(PerLinkStreams, MinLinkDelayCoversOverrides) {
+  sim::Scheduler sched;
+  Network net(sched, util::Rng(1));
+  LinkConfig fast;
+  fast.latency = fixed_latency(100);
+  net.set_default_link(fast);
+  EXPECT_EQ(net.min_link_delay(), 100);
+  LinkConfig faster;
+  faster.latency = uniform_latency(40, 80);
+  net.set_link(2, 3, faster);
+  EXPECT_EQ(net.min_link_delay(), 40);
+}
+
 TEST(LatencyModels, ExponentialAboveBase) {
   util::Rng rng(3);
   ExponentialLatency m(100, 50);

@@ -144,6 +144,40 @@ TEST(Scheduler, ZeroDelayEventFiresAtCurrentTime) {
   EXPECT_EQ(seen, 10);
 }
 
+TEST(Scheduler, PriorityBreaksSameTimeTiesBeforeInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(5, [&] { order.push_back(0); });             // kDefaultPrio, first in
+  s.at(5, /*prio=*/7, [&] { order.push_back(1); });
+  s.at(5, /*prio=*/3, [&] { order.push_back(2); });
+  s.at(5, /*prio=*/7, [&] { order.push_back(3); });  // ties with 1: FIFO
+  s.at(4, [&] { order.push_back(4); });              // earlier time wins
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{4, 2, 1, 3, 0}));
+}
+
+TEST(Scheduler, NextTimeSkipsCancelledAndReportsNever) {
+  Scheduler s;
+  EXPECT_EQ(s.next_time(), kTimeNever);
+  auto h1 = s.at(3, [] {});
+  s.at(9, [] {});
+  EXPECT_EQ(s.next_time(), 3);
+  s.cancel(h1);
+  EXPECT_EQ(s.next_time(), 9);
+  s.run();
+  EXPECT_EQ(s.next_time(), kTimeNever);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockPastDrainedQueue) {
+  Scheduler s;
+  s.at(2, [] {});
+  EXPECT_EQ(s.run_until(10), 1u);
+  EXPECT_EQ(s.now(), 10);
+  // A later window can start where the previous one left the clock.
+  s.at(10, [] {});
+  EXPECT_EQ(s.run_until(20), 1u);
+}
+
 TEST(TimeHelpers, Conversions) {
   EXPECT_EQ(microseconds(1), 1000);
   EXPECT_EQ(milliseconds(1), 1000000);

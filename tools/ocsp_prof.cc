@@ -9,14 +9,18 @@
 //
 // Usage:
 //   ocsp_prof [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual
-//                         |commute_registry|storm|chaos]
-//             [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]
+//                         |commute_registry|storm|chaos|parallel]
+//             [--pessimistic] [--scale=N] [--seed=N] [--workers=N]
+//             [--json[=path]]
 //
 // `storm` runs the abort-storm workload with the adaptive governor enabled
 // (per-site scorecards show the demote/promote cycles); `chaos` runs
 // putline under a seeded fault plan with the reliable transport on, so the
 // liveness counters (faults injected, retransmissions, duplicates
-// suppressed, crashes) are populated.
+// suppressed, crashes) are populated; `parallel` runs the compute-fanout
+// workload on exec::ParallelRuntime with --workers threads — the profile is
+// built from the merged dual-clock recorder, so the same report shows where
+// both the virtual time and the real wall time went.
 //
 // Default output is the human-readable report; --json emits one
 // ocsp-prof-v1 document (to stdout, or to the given path).
@@ -27,6 +31,7 @@
 
 #include "baseline/scenario.h"
 #include "core/workloads.h"
+#include "exec/parallel.h"
 #include "fault/plan.h"
 #include "obs/attribution.h"
 #include "obs/prof_json.h"
@@ -41,13 +46,14 @@ struct Options {
   std::string json_path;
   int scale = 1;
   std::uint64_t seed = 42;
+  int workers = 4;
 };
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual|commute_registry|storm|chaos]"
-      " [--pessimistic] [--scale=N] [--seed=N] [--json[=path]]\n",
+      "usage: %s [--workload=fig5|safe_fanout|putline|pipeline|dbfs|mutual|commute_registry|storm|chaos|parallel]"
+      " [--pessimistic] [--scale=N] [--seed=N] [--workers=N] [--json[=path]]\n",
       argv0);
   return 2;
 }
@@ -142,6 +148,9 @@ int main(int argc, char** argv) {
       if (opts.scale < 1) opts.scale = 1;
     } else if (const char* v3 = val("--seed=")) {
       opts.seed = static_cast<std::uint64_t>(std::atoll(v3));
+    } else if (const char* v5 = val("--workers=")) {
+      opts.workers = std::atoi(v5);
+      if (opts.workers < 1) opts.workers = 1;
     } else if (arg == "--json") {
       opts.json = true;
     } else if (const char* v4 = val("--json=")) {
@@ -152,8 +161,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto scenario = make_scenario(opts);
-  auto result = ocsp::baseline::run_scenario(scenario, opts.speculation);
+  ocsp::baseline::RunResult result;
+  if (opts.workload == "parallel") {
+    // Compute-fanout on the sharded executor.  The merged recorder carries
+    // both clocks, so the profile's wall column reflects the real threads.
+    ocsp::core::ComputeFanoutParams p;
+    p.pairs = 4 * opts.scale;
+    p.miss_period = 4;
+    p.seed = opts.seed;
+    auto par = ocsp::exec::run_scenario_parallel(
+        ocsp::core::compute_fanout_scenario(p), opts.workers,
+        opts.speculation, /*compute_scale=*/2.0, ocsp::sim::kTimeNever,
+        /*compute_sleep=*/true);
+    result = std::move(par.result);
+  } else {
+    auto scenario = make_scenario(opts);
+    result = ocsp::baseline::run_scenario(scenario, opts.speculation);
+  }
   if (!result.recorder) {
     std::fprintf(stderr, "ocsp_prof: run produced no event recorder\n");
     return 1;
@@ -183,10 +207,12 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("workload %s (%s, scale %d, seed %llu)\n\n",
+  std::printf("workload %s (%s, scale %d, seed %llu",
               opts.workload.c_str(),
               opts.speculation ? "optimistic" : "pessimistic", opts.scale,
               static_cast<unsigned long long>(opts.seed));
+  if (opts.workload == "parallel") std::printf(", workers %d", opts.workers);
+  std::printf(")\n\n");
   std::printf("%s\n", ocsp::obs::profile_table(profile).c_str());
   std::printf("%s", ocsp::obs::attribution_table(attribution).c_str());
   return 0;
