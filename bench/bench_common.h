@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
@@ -222,13 +223,30 @@ inline bool& smoke_mode() {
   return smoke;
 }
 
+/// Worker-count override (--ocsp_workers=N): report sections that sweep the
+/// parallel executor restrict themselves to this single width instead of
+/// their default {1, 2, 4, 8}.  0 (default) means sweep.
+inline int& workers_override() {
+  static int workers = 0;
+  return workers;
+}
+
+/// The worker counts a report section should sweep: the --ocsp_workers
+/// override when given, else the standard width ladder.
+inline std::vector<int> sweep_workers() {
+  if (workers_override() > 0) return {workers_override()};
+  return {1, 2, 4, 8};
+}
+
 /// Strip the ocsp-specific flags from argv (google-benchmark would reject
 /// them): --ocsp_json_out=<path> arms the metrics collector,
-/// --ocsp_prof_out=<path> arms the causal-profile collector and
-/// --ocsp_smoke enables smoke mode.
+/// --ocsp_prof_out=<path> arms the causal-profile collector,
+/// --ocsp_smoke enables smoke mode and --ocsp_workers=N pins the parallel
+/// sweep width.
 inline void consume_json_out_flag(int* argc, char** argv) {
   const std::string json_prefix = "--ocsp_json_out=";
   const std::string prof_prefix = "--ocsp_prof_out=";
+  const std::string workers_prefix = "--ocsp_workers=";
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
     const std::string arg = argv[i];
@@ -240,6 +258,8 @@ inline void consume_json_out_flag(int* argc, char** argv) {
           arg.substr(prof_prefix.size()));
     } else if (arg == "--ocsp_smoke") {
       smoke_mode() = true;
+    } else if (arg.rfind(workers_prefix, 0) == 0) {
+      workers_override() = std::atoi(arg.c_str() + workers_prefix.size());
     } else {
       argv[out++] = argv[i];
     }

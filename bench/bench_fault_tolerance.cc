@@ -11,6 +11,7 @@
 // calms down.
 #include "bench_common.h"
 
+#include "exec/parallel.h"
 #include "fault/plan.h"
 
 namespace ocsp::bench {
@@ -137,6 +138,62 @@ void report() {
               static_cast<unsigned long long>(divergences));
   OCSP_CHECK(divergences == 0);
 
+  // ---- chaos under sharding: the same oracle at every worker count -------
+  // One row per plan, one column per width: faults are injected on the
+  // sender's shard from per-link fault streams, so the counters — and the
+  // committed trace — must not depend on the worker count.
+  {
+    const std::vector<int> widths =
+        smoke_mode() && workers_override() == 0 ? std::vector<int>{2, 4}
+                                                : sweep_workers();
+    const std::uint64_t par_plans = smoke_mode() ? 6 : 12;
+    std::vector<std::string> headers = {"seed", "category", "faults",
+                                        "retransmits"};
+    for (int w : widths) headers.push_back("w" + std::to_string(w) + "_ms");
+    util::Table par_sweep(headers);
+    std::uint64_t par_divergences = 0;
+    for (std::uint64_t seed = 0; seed < par_plans; ++seed) {
+      const fault::FaultPlan plan =
+          fault::make_chaos_plan(seed, chaos_spec(), /*num_processes=*/2);
+      const auto scenario = chaos_scenario(plan);
+      std::vector<std::string> row = {std::to_string(seed),
+                                      category_name(seed), "", ""};
+      for (int w : widths) {
+        const auto par = exec::run_scenario_parallel(
+            scenario, w, /*speculation=*/true, /*compute_scale=*/0.0,
+            sim::seconds(10));
+        OCSP_CHECK_MSG(par.result.all_completed,
+                       ("parallel chaos seed " + std::to_string(seed) +
+                        " stalled at workers=" + std::to_string(w))
+                           .c_str());
+        std::string why;
+        if (!trace::compare_traces(reference.trace, par.result.trace, &why)) {
+          std::printf("  DIVERGENCE seed %llu workers %d: %s\n",
+                      static_cast<unsigned long long>(seed), w, why.c_str());
+          ++par_divergences;
+        }
+        row[2] = std::to_string(
+            par.result.metrics.counter_or("faults_injected") +
+            par.result.network.faults_dropped +
+            par.result.network.faults_corrupted +
+            par.result.network.faults_duplicated);
+        row[3] = std::to_string(
+            par.result.metrics.counter_or("retransmissions"));
+        char ms[32];
+        std::snprintf(ms, sizeof(ms), "%.3f",
+                      sim::to_millis(par.result.last_completion));
+        row.push_back(ms);
+      }
+      par_sweep.add_row(row);
+    }
+    std::printf("%s\n", par_sweep.to_string().c_str());
+    std::printf("parallel chaos sweep: %llu plans x %zu widths, "
+                "%llu trace divergences\n\n",
+                static_cast<unsigned long long>(par_plans), widths.size(),
+                static_cast<unsigned long long>(par_divergences));
+    OCSP_CHECK(par_divergences == 0);
+  }
+
   // ---- governor: wasted work before/after under an abort storm ----------
   auto storm_reference = baseline::run_scenario(
       core::abort_storm_scenario(storm_params(false)), false);
@@ -185,6 +242,57 @@ void report() {
   OCSP_CHECK(on.stats.governor_sequential_forks > 0);
   OCSP_CHECK(on.stats.total_aborts() < off.stats.total_aborts());
   OCSP_CHECK(wasted_on < wasted_off);
+
+  // ---- governor under sharding ------------------------------------------
+  // The breaker's EWMA lives in the process, the schedule is the per-link
+  // deterministic one, so its demote/promote decisions must be identical
+  // to the sequential per-link run — sharding changes nothing.
+  {
+    const int width = workers_override() > 0 ? workers_override() : 2;
+    auto on_seq_scenario = core::abort_storm_scenario(storm_params(true));
+    on_seq_scenario.options.per_link_net = true;
+    const auto on_seq = baseline::run_scenario(on_seq_scenario, true);
+    const auto off_par = exec::run_scenario_parallel(
+        core::abort_storm_scenario(storm_params(false)), width, true);
+    const auto on_par = exec::run_scenario_parallel(
+        core::abort_storm_scenario(storm_params(true)), width, true);
+    OCSP_CHECK(off_par.result.all_completed && on_par.result.all_completed);
+    OCSP_CHECK_MSG(trace::compare_traces(storm_reference.trace,
+                                         off_par.result.trace, &why),
+                   why.c_str());
+    OCSP_CHECK_MSG(trace::compare_traces(storm_reference.trace,
+                                         on_par.result.trace, &why),
+                   why.c_str());
+
+    const std::int64_t wasted_off_par = wasted_ns_of(off_par.result);
+    const std::int64_t wasted_on_par = wasted_ns_of(on_par.result);
+    util::Table sharded({"governor", "workers", "aborts", "seq_forks",
+                         "demotions", "promotions", "wasted_ms"});
+    sharded.row("off", width, off_par.result.stats.total_aborts(),
+                off_par.result.stats.sequential_forks,
+                off_par.result.stats.governor_demotions,
+                off_par.result.stats.governor_promotions,
+                ms(wasted_off_par));
+    sharded.row("on", width, on_par.result.stats.total_aborts(),
+                on_par.result.stats.sequential_forks,
+                on_par.result.stats.governor_demotions,
+                on_par.result.stats.governor_promotions,
+                ms(wasted_on_par));
+    std::printf("%s\n", sharded.to_string().c_str());
+
+    // Same gates as the sequential storm, plus width-invariance of the
+    // breaker's decisions (demote and hysteresis re-enable alike).
+    OCSP_CHECK(off_par.result.stats.total_aborts() >= 20);
+    OCSP_CHECK(on_par.result.stats.governor_demotions >= 1);
+    OCSP_CHECK(on_par.result.stats.governor_sequential_forks > 0);
+    OCSP_CHECK(on_par.result.stats.total_aborts() <
+               off_par.result.stats.total_aborts());
+    OCSP_CHECK(wasted_on_par < wasted_off_par);
+    OCSP_CHECK(on_par.result.stats.governor_demotions ==
+               on_seq.stats.governor_demotions);
+    OCSP_CHECK(on_par.result.stats.governor_promotions ==
+               on_seq.stats.governor_promotions);
+  }
 }
 
 void BM_ChaosPutline(benchmark::State& state) {
@@ -212,6 +320,33 @@ BENCHMARK(BM_ChaosPutline)
     ->Arg(3)
     ->Arg(4)
     ->Arg(5);
+
+void BM_ParallelChaos(benchmark::State& state) {
+  const auto seed = static_cast<std::uint64_t>(state.range(0));
+  const int workers = static_cast<int>(state.range(1));
+  const fault::FaultPlan plan = fault::make_chaos_plan(seed, chaos_spec(), 2);
+  const auto scenario = chaos_scenario(plan);
+  exec::ParallelRunResult par;
+  for (auto _ : state) {
+    par = exec::run_scenario_parallel(scenario, workers, /*speculation=*/true,
+                                      /*compute_scale=*/0.0, sim::seconds(10));
+    benchmark::DoNotOptimize(par.result.last_completion);
+  }
+  set_counters(state, par.result,
+               "parallel_chaos/w" + std::to_string(workers) + "/seed" +
+                   std::to_string(seed));
+  state.counters["faults_injected"] =
+      static_cast<double>(par.result.metrics.counter_or("faults_injected"));
+  state.counters["retransmissions"] =
+      static_cast<double>(par.result.metrics.counter_or("retransmissions"));
+  state.counters["crashes"] = static_cast<double>(par.result.stats.crashes);
+  state.counters["gvt_windows"] = static_cast<double>(par.windows.size());
+}
+BENCHMARK(BM_ParallelChaos)
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({5, 2})
+    ->Args({5, 4});
 
 void BM_GovernorStorm(benchmark::State& state) {
   const bool governed = state.range(0) != 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fault/injector.h"
 #include "obs/merge.h"
 #include "sim/scheduler.h"
 #include "speculation/messages.h"
@@ -43,11 +44,12 @@ class ParallelRuntime::Shard final : public spec::ExecContext {
                  net::MessagePtr payload) override {
     return owner_.send_from_shard(*this, src, dst, std::move(payload));
   }
-  // No reliable transport here (checked by run_scenario_parallel); a
+  // Data plane through this shard's reliable transport when enabled; a
   // disabled transport is a plain network send in the sequential runtime
   // too, so both planes share one path.
   MsgId transport_send(ProcessId src, ProcessId dst,
                        net::MessagePtr payload) override {
+    if (transport_) return transport_->send(src, dst, std::move(payload));
     return owner_.send_from_shard(*this, src, dst, std::move(payload));
   }
   void on_compute(ProcessId /*id*/, sim::Time duration) override {
@@ -58,6 +60,7 @@ class ParallelRuntime::Shard final : public spec::ExecContext {
   /// net::Network::link_state seeds its private equivalent.
   struct LinkState {
     util::Rng rng{0};
+    util::Rng fault_rng{0};
     std::uint64_t seq = 0;
     sim::Time fifo_horizon = 0;
   };
@@ -67,6 +70,8 @@ class ParallelRuntime::Shard final : public spec::ExecContext {
       it = link_state_.emplace(std::make_pair(src, dst), LinkState{}).first;
       it->second.rng =
           net::Network::link_stream(owner_.link_seed_base_, src, dst);
+      it->second.fault_rng =
+          net::Network::link_fault_stream(owner_.link_seed_base_, src, dst);
     }
     return it->second;
   }
@@ -79,14 +84,33 @@ class ParallelRuntime::Shard final : public spec::ExecContext {
       std::make_shared<obs::RunRecorder>();
   std::map<std::pair<ProcessId, ProcessId>, LinkState> link_state_;
   net::NetworkStats net_stats_;
+  /// Receive handlers of the processes on this shard (the transport's
+  /// frame demux when reliable delivery is on, the raw process handler
+  /// otherwise) — the shard-local mirror of net::Network's endpoint table.
+  std::map<ProcessId, net::Network::Handler> endpoints_;
+  /// Shard-local recovery stack: one transport (RTO timers live on this
+  /// shard's scheduler) and one injector (stats stay single-writer).
+  std::unique_ptr<net::ReliableTransport> transport_;
+  std::unique_ptr<fault::Injector> injector_;
   /// Cross-shard envelope handoff: remote senders push under the mutex,
   /// the coordinator drains at the window barrier.
   std::mutex inbox_mu_;
   std::vector<net::Envelope> inbox_;
 };
 
+namespace {
+
+ParallelOptions normalize(ParallelOptions o) {
+  // Mirrors spec::Runtime: crash recovery relies on the transport's
+  // parked-delivery NIC model to keep committed data durable; force it on.
+  if (o.fault_plan.has_crashes()) o.reliable.enabled = true;
+  return o;
+}
+
+}  // namespace
+
 ParallelRuntime::ParallelRuntime(ParallelOptions options)
-    : options_(std::move(options)),
+    : options_(normalize(std::move(options))),
       workers_(std::max(1, options_.workers)),
       rng_(options_.seed),
       // Mirrors spec::Runtime: the network stream is the first split off
@@ -97,6 +121,62 @@ ParallelRuntime::ParallelRuntime(ParallelOptions options)
   shards_.reserve(static_cast<std::size_t>(workers_));
   for (int i = 0; i < workers_; ++i) {
     shards_.push_back(std::make_unique<Shard>(*this, i));
+  }
+  for (auto& sp : shards_) {
+    Shard* s = sp.get();
+    if (options_.reliable.enabled) {
+      // One transport per shard: frames/acks go out through the shard's
+      // own deterministic send path and its RTO timers are shard-local
+      // events.  Per-shard frame sequence numbers never collide at the
+      // receiver — dedup keys on (sender, seq) and each sender lives on
+      // exactly one shard.
+      s->transport_ = std::make_unique<net::ReliableTransport>(
+          [this, s](ProcessId src, ProcessId dst, net::MessagePtr payload) {
+            return send_from_shard(*s, src, dst, std::move(payload));
+          },
+          [s](ProcessId id, net::Network::Handler handler) {
+            s->endpoints_[id] = std::move(handler);
+          },
+          s->sched_, options_.reliable);
+      s->transport_->set_retransmit_observer(
+          [s](ProcessId src, ProcessId dst, std::uint64_t seq, int attempt) {
+            obs::Event ev;
+            ev.kind = obs::EventKind::kRetransmit;
+            ev.when = s->sched_.now();
+            ev.process = src;
+            ev.peer = dst;
+            ev.msg_id = seq;
+            ev.a = static_cast<std::uint64_t>(attempt);
+            s->recorder_->record(std::move(ev));
+          });
+      s->transport_->set_duplicate_observer(
+          [s](ProcessId dst, ProcessId src, std::uint64_t seq) {
+            obs::Event ev;
+            ev.kind = obs::EventKind::kDuplicateSuppressed;
+            ev.when = s->sched_.now();
+            ev.process = dst;
+            ev.peer = src;
+            ev.msg_id = seq;
+            s->recorder_->record(std::move(ev));
+          });
+    }
+    if (options_.fault_plan.enabled) {
+      // One injector per shard (decisions fire on the sender's shard);
+      // the plan is pure data, so every copy decides identically.
+      s->injector_ = std::make_unique<fault::Injector>(options_.fault_plan);
+      s->injector_->set_observer([s](const net::Envelope& env,
+                                     const net::FaultDecision& fd) {
+        obs::Event ev;
+        ev.kind = obs::EventKind::kFaultInjected;
+        ev.when = s->sched_.now();
+        ev.process = env.src;
+        ev.peer = env.dst;
+        ev.msg_id = env.id;
+        ev.a = fd.drop ? 1 : (fd.corrupt ? 2 : 3);
+        ev.detail = fd.cause;
+        s->recorder_->record(std::move(ev));
+      });
+    }
   }
 }
 
@@ -114,6 +194,23 @@ ProcessId ParallelRuntime::add_process(
       shard, id, name, std::move(program), std::move(initial_env), spec,
       rng_.split()));
   names_.emplace(std::move(name), id);
+  // Mirror spec::Runtime::add_process: receive slots go through the
+  // shard's transport when one exists (incarnation tags in, peer
+  // incarnation observations out), else straight to the process.
+  net::Network::Handler handler = [this, id](const net::Envelope& env) {
+    processes_[id]->on_message(env);
+  };
+  if (shard.transport_) {
+    shard.transport_->register_endpoint(
+        id, std::move(handler),
+        [this, id]() { return processes_[id]->incarnation_tag(); },
+        [this, id](ProcessId src, net::IncarnationTag tag) {
+          processes_[id]->observe_peer_incarnation(src, tag.incarnation,
+                                                   tag.start_index);
+        });
+  } else {
+    shard.endpoints_[id] = std::move(handler);
+  }
   return id;
 }
 
@@ -183,10 +280,42 @@ MsgId ParallelRuntime::send_from_shard(Shard& from, ProcessId src,
   env.delivered_at = deliver_at;
   env.payload = std::move(payload);
 
+  // Fault injection, exactly as net::Network::send orders it: decided
+  // after the latency/FIFO computation (so fault plans never perturb the
+  // schedule of surviving messages), drawing from the link's own fault
+  // stream (so outcomes are identical at every worker count).
+  net::FaultDecision fault;
+  if (from.injector_) fault = from.injector_->decide(env, ls.fault_rng);
+
+  if (fault.drop || fault.corrupt) {
+    if (fault.corrupt) {
+      ++from.net_stats_.faults_corrupted;
+    } else {
+      ++from.net_stats_.faults_dropped;
+    }
+    net::Envelope lost = env;
+    lost.delivered_at = 0;  // never delivered
+    from.recorder_->record(
+        spec::make_msg_event(obs::EventKind::kMsgSent, lost, now));
+    return id;
+  }
+
   from.recorder_->record(
       spec::make_msg_event(obs::EventKind::kMsgSent, env, now));
+  route_envelope(from, env);
 
-  Shard& dest = *shards_[static_cast<std::size_t>(shard_of(dst))];
+  for (int i = 0; i < fault.duplicates; ++i) {
+    ++from.net_stats_.faults_duplicated;
+    net::Envelope dup = env;
+    dup.delivered_at =
+        deliver_at + sim::microseconds(1 + ls.fault_rng.uniform_int(0, 200));
+    route_envelope(from, dup);
+  }
+  return id;
+}
+
+void ParallelRuntime::route_envelope(Shard& from, const net::Envelope& env) {
+  Shard& dest = *shards_[static_cast<std::size_t>(shard_of(env.dst))];
   if (&dest == &from) {
     // Same shard: straight into our own queue; no other thread can touch
     // it during the window.
@@ -196,9 +325,8 @@ MsgId ParallelRuntime::send_from_shard(Shard& from, ProcessId src,
     // window fence, so parking it in the inbox until the barrier never
     // delays it past its due time.
     std::lock_guard<std::mutex> lk(dest.inbox_mu_);
-    dest.inbox_.push_back(std::move(env));
+    dest.inbox_.push_back(env);
   }
-  return id;
 }
 
 void ParallelRuntime::schedule_delivery(Shard& dest,
@@ -207,13 +335,35 @@ void ParallelRuntime::schedule_delivery(Shard& dest,
   // recoverable from the deterministic id (low 32 bits = link sequence).
   const std::uint64_t prio =
       net::Network::link_prio(env.src, env.dst, env.id & 0xffffffff);
-  dest.sched_.at(env.delivered_at, prio, [this, &dest, env]() {
+  dest.sched_.at(env.delivered_at, prio, [&dest, env]() {
     // Counter, handler, tracer — the sequential network's exact order.
+    // The handler is looked up at fire time (as Network does): a frame
+    // demux handler installed by the shard's transport, or the raw
+    // process handler.
+    auto it = dest.endpoints_.find(env.dst);
+    OCSP_CHECK_MSG(it != dest.endpoints_.end(),
+                   "delivery to unknown endpoint");
     ++dest.net_stats_.messages_delivered;
-    processes_[env.dst]->on_message(env);
+    it->second(env);
     dest.recorder_->record(spec::make_msg_event(
         obs::EventKind::kMsgDelivered, env, dest.sched_.now()));
   });
+}
+
+void ParallelRuntime::crash_process(ProcessId id) {
+  // Same order as spec::Runtime::crash_process: the NIC goes down first,
+  // so in-flight frames are acked-and-parked from this instant on.
+  OCSP_CHECK(id < processes_.size());
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(id))];
+  if (shard.transport_) shard.transport_->set_down(id, true);
+  processes_[id]->crash();
+}
+
+void ParallelRuntime::restart_process(ProcessId id) {
+  OCSP_CHECK(id < processes_.size());
+  Shard& shard = *shards_[static_cast<std::size_t>(shard_of(id))];
+  processes_[id]->restart();
+  if (shard.transport_) shard.transport_->set_down(id, false);
 }
 
 void ParallelRuntime::burn(sim::Time duration) const {
@@ -304,6 +454,24 @@ sim::Time ParallelRuntime::run(sim::Time deadline) {
     s->recorder_->set_wall_clock([epoch]() { return ns_since(epoch); });
   }
   for (auto& p : processes_) p->start();
+  if (options_.fault_plan.enabled) {
+    // Crash/restart events live in the victim's shard queue at their plan
+    // times (inserted after the starts, matching the sequential runtime's
+    // insertion order).  They participate in GVT like any pending event, so
+    // a crash at virtual time T fires inside the window containing T —
+    // no shard can have advanced past it — and the incarnation bump
+    // propagates to remote dependents as ordinary messages through the
+    // inboxes drained at the next barrier.
+    for (const auto& c : options_.fault_plan.crashes) {
+      OCSP_CHECK_MSG(c.process < processes_.size(),
+                     "crash event for unknown process");
+      OCSP_CHECK_MSG(c.restart_at > c.at, "crash restart precedes crash");
+      Shard& shard = *shards_[static_cast<std::size_t>(shard_of(c.process))];
+      shard.sched_.at(c.at, [this, c]() { crash_process(c.process); });
+      shard.sched_.at(c.restart_at,
+                      [this, c]() { restart_process(c.process); });
+    }
+  }
   start_workers();
 
   std::vector<std::uint64_t> prev_fired(shards_.size(), 0);
@@ -363,8 +531,11 @@ sim::Time ParallelRuntime::run(sim::Time deadline) {
   }
 
   if (deadline != sim::kTimeNever) return deadline;
+  // Clamp to the last event that actually fired anywhere: shard clocks sit
+  // at the final window's end, up to one lookahead past the last event,
+  // but the sequential scheduler's post-drain clock is its last event.
   sim::Time latest = 0;
-  for (auto& s : shards_) latest = std::max(latest, s->sched_.now());
+  for (auto& s : shards_) latest = std::max(latest, s->sched_.last_fired());
   return latest;
 }
 
@@ -438,6 +609,39 @@ obs::MetricsRegistry ParallelRuntime::metrics() const {
   m.counter("net_messages_delivered") += net.messages_delivered;
   m.counter("net_messages_dropped") += net.messages_dropped;
   m.counter("net_bytes_sent") += net.bytes_sent;
+  m.counter("net_faults_dropped") += net.faults_dropped;
+  m.counter("net_faults_corrupted") += net.faults_corrupted;
+  m.counter("net_faults_duplicated") += net.faults_duplicated;
+  if (options_.reliable.enabled) {
+    net::ReliableStats rs;
+    for (const auto& s : shards_) {
+      const net::ReliableStats& ss = s->transport_->stats();
+      rs.frames_sent += ss.frames_sent;
+      rs.retransmissions += ss.retransmissions;
+      rs.retransmit_exhausted += ss.retransmit_exhausted;
+      rs.acks_sent += ss.acks_sent;
+      rs.duplicates_suppressed += ss.duplicates_suppressed;
+      rs.parked_deliveries += ss.parked_deliveries;
+    }
+    m.counter("reliable_frames_sent") += rs.frames_sent;
+    m.counter("retransmissions") += rs.retransmissions;
+    m.counter("retransmit_exhausted") += rs.retransmit_exhausted;
+    m.counter("acks_sent") += rs.acks_sent;
+    m.counter("duplicates_suppressed") += rs.duplicates_suppressed;
+    m.counter("parked_deliveries") += rs.parked_deliveries;
+  }
+  if (options_.fault_plan.enabled) {
+    fault::InjectorStats fs;
+    for (const auto& s : shards_) {
+      const fault::InjectorStats& ss = s->injector_->stats();
+      fs.drops += ss.drops;
+      fs.duplicates += ss.duplicates;
+      fs.corruptions += ss.corruptions;
+      fs.partition_drops += ss.partition_drops;
+    }
+    m.counter("faults_injected") += fs.total();
+    m.counter("fault_partition_drops") += fs.partition_drops;
+  }
   m.counter("gvt_windows") += windows_.size();
   m.counter("gvt_advances") += gvt_advances_;
   return m;
@@ -474,6 +678,9 @@ net::NetworkStats ParallelRuntime::network_stats() const {
     total.messages_delivered += s->net_stats_.messages_delivered;
     total.messages_dropped += s->net_stats_.messages_dropped;
     total.bytes_sent += s->net_stats_.bytes_sent;
+    total.faults_dropped += s->net_stats_.faults_dropped;
+    total.faults_corrupted += s->net_stats_.faults_corrupted;
+    total.faults_duplicated += s->net_stats_.faults_duplicated;
   }
   return total;
 }
@@ -496,16 +703,13 @@ ParallelRunResult run_scenario_parallel(const baseline::Scenario& scenario,
                                         double compute_scale,
                                         sim::Time deadline,
                                         bool compute_sleep) {
-  OCSP_CHECK_MSG(!scenario.options.fault_plan.enabled,
-                 "fault plans are not supported by the parallel executor");
-  OCSP_CHECK_MSG(!scenario.options.reliable.enabled,
-                 "reliable transport is not supported by the parallel "
-                 "executor");
   ParallelOptions options;
   options.seed = scenario.options.seed;
   options.workers = workers;
   options.default_link = scenario.options.default_link;
   options.spec = scenario.options.spec;
+  options.fault_plan = scenario.options.fault_plan;
+  options.reliable = scenario.options.reliable;
   options.spec.speculation_enabled = speculation;
   options.compute_scale = compute_scale;
   options.compute_sleep = compute_sleep;

@@ -38,10 +38,27 @@
 // events of one process keep their relative insertion order).
 //
 // Memory ordering: all shard state (schedulers, processes, recorders,
-// link-state maps) is owned by exactly one thread during a window and by
-// the coordinator between windows; every ownership handoff goes through
-// the barrier mutex, which establishes the happens-before edges.  The only
-// concurrently-touched structures are the per-shard inbox mutexes.
+// link-state maps, transports, injectors) is owned by exactly one thread
+// during a window and by the coordinator between windows; every ownership
+// handoff goes through the barrier mutex, which establishes the
+// happens-before edges.  The only concurrently-touched structures are the
+// per-shard inbox mutexes.
+//
+// Faults under sharding (DESIGN.md section 13): fault plans and the
+// reliable transport run here with the same semantics as the simulator.
+// Fault decisions draw from per-link fault streams
+// (net::Network::link_fault_stream), so drop/duplicate/corrupt/partition
+// outcomes are pure functions of (link, per-link seq) — identical at every
+// worker count.  Each shard hosts its own ReliableTransport over its own
+// scheduler, so retransmission timers are shard-local events fenced by the
+// window barrier like any other (a retransmit fired at t lands at or after
+// t + L, hence never below GVT).  Crash/restart events are scheduled into
+// the victim's shard queue at their plan times: a crash at virtual time T
+// fires inside the window containing T, and the incarnation bump it causes
+// reaches remote dependents as ordinary messages (explicit ABORTs, or tags
+// piggybacked on reliable frames) through the MPSC inboxes, driving
+// SpeculativeProcess::observe_peer_incarnation's rollback fixpoint across
+// shard boundaries.
 #pragma once
 
 #include <condition_variable>
@@ -58,7 +75,9 @@
 #include "baseline/scenario.h"
 #include "csp/env.h"
 #include "csp/program.h"
+#include "fault/plan.h"
 #include "net/network.h"
+#include "net/reliable.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "sim/time.h"
@@ -79,6 +98,12 @@ struct ParallelOptions {
   int workers = 1;
   net::LinkConfig default_link;
   spec::SpecConfig spec;
+  /// Seeded fault plan (drop/duplicate/corrupt/partition/crash), identical
+  /// semantics to spec::RuntimeOptions::fault_plan.  Plans with crashes
+  /// force `reliable.enabled` on, exactly as the sequential runtime does.
+  fault::FaultPlan fault_plan;
+  /// Ack/retransmit transport config; one transport instance per shard.
+  net::ReliableConfig reliable;
   /// Wall-nanoseconds of real busy-spin per virtual nanosecond of Compute.
   /// 0 (default) burns nothing: virtual time, traces, and counters are
   /// identical either way — the scale only decides how much real work the
@@ -127,8 +152,9 @@ class ParallelRuntime {
 
   /// Run to completion (or `deadline`).  Single-shot.  With a finite
   /// deadline returns `deadline` (as the sequential run_until does); with
-  /// kTimeNever returns the final window's clock, which may exceed the
-  /// last event's time by up to one lookahead.
+  /// kTimeNever returns the time of the last event that actually fired on
+  /// any shard — the sequential scheduler's post-drain clock, never the
+  /// window end.
   sim::Time run(sim::Time deadline = sim::kTimeNever);
 
   int workers() const { return workers_; }
@@ -195,7 +221,10 @@ class ParallelRuntime {
   const net::LinkConfig& link_for(ProcessId src, ProcessId dst) const;
   MsgId send_from_shard(Shard& from, ProcessId src, ProcessId dst,
                         net::MessagePtr payload);
+  void route_envelope(Shard& from, const net::Envelope& env);
   void schedule_delivery(Shard& dest, const net::Envelope& env);
+  void crash_process(ProcessId id);
+  void restart_process(ProcessId id);
   void burn(sim::Time duration) const;
   void run_window(sim::Time target);
   void start_workers();
@@ -229,10 +258,10 @@ struct ParallelRunResult {
   sim::Time lookahead = 0;
 };
 
-/// Run `scenario` on `workers` threads.  Fault plans and the reliable
-/// transport are not supported here (checked); scenario.options.per_link_net
-/// is implied — compare against run_scenario on a scenario with that flag
-/// set to get the matching sequential schedule.
+/// Run `scenario` on `workers` threads — fault plans and the reliable
+/// transport included.  scenario.options.per_link_net is implied — compare
+/// against run_scenario on a scenario with that flag set to get the
+/// matching sequential schedule.
 ParallelRunResult run_scenario_parallel(const baseline::Scenario& scenario,
                                         int workers, bool speculation = true,
                                         double compute_scale = 0.0,

@@ -61,6 +61,14 @@ util::Rng Network::link_stream(std::uint64_t seed_base, ProcessId src,
   return util::Rng(util::splitmix64(state));
 }
 
+util::Rng Network::link_fault_stream(std::uint64_t seed_base, ProcessId src,
+                                     ProcessId dst) {
+  // Split off a copy: the link stream proper never advances, so enabling
+  // faults leaves its latency/loss draws bit-identical.
+  util::Rng tmp = link_stream(seed_base, src, dst);
+  return tmp.split();
+}
+
 MsgId Network::link_msg_id(ProcessId src, ProcessId dst, std::uint64_t seq) {
   return (static_cast<MsgId>(src & 0xffff) << 48) |
          (static_cast<MsgId>(dst & 0xffff) << 32) | (seq & 0xffffffff);
@@ -85,6 +93,7 @@ Network::LinkState& Network::link_state(ProcessId src, ProcessId dst) {
   if (it == link_state_.end()) {
     it = link_state_.emplace(std::make_pair(src, dst), LinkState{}).first;
     it->second.rng = link_stream(per_link_seed_base_, src, dst);
+    it->second.fault_rng = link_fault_stream(per_link_seed_base_, src, dst);
   }
   return it->second;
 }
@@ -145,9 +154,12 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
 
   // Fault injection runs after the latency/FIFO computation above: every
   // send consumes its latency draw whether or not it survives, so the fault
-  // plan never perturbs the delivery schedule of unaffected messages.
+  // plan never perturbs the delivery schedule of unaffected messages.  In
+  // per-link mode the decision draws come from the link's own fault stream,
+  // making fault outcomes a pure function of (src, dst, link seq).
+  util::Rng& fault_draws = ls ? ls->fault_rng : fault_rng_;
   FaultDecision fault;
-  if (fault_hook_) fault = fault_hook_(env, fault_rng_);
+  if (fault_hook_) fault = fault_hook_(env, fault_draws);
 
   if (fault.drop || fault.corrupt) {
     if (fault.corrupt) {
@@ -173,7 +185,7 @@ MsgId Network::send(ProcessId src, ProcessId dst, MessagePtr payload) {
     ++stats_.faults_duplicated;
     Envelope dup = env;
     dup.delivered_at =
-        deliver_at + sim::microseconds(1 + fault_rng_.uniform_int(0, 200));
+        deliver_at + sim::microseconds(1 + fault_draws.uniform_int(0, 200));
     OCSP_DLOG << "net: fault duplicate #" << id << " " << src << "->" << dst
               << " @" << dup.delivered_at << " (" << fault.cause << ")";
     schedule_delivery(dup, prio);

@@ -124,6 +124,16 @@ class Network {
   static util::Rng link_stream(std::uint64_t seed_base, ProcessId src,
                                ProcessId dst);
 
+  /// Dedicated fault-injection stream for the ordered pair (src, dst):
+  /// split off a *copy* of link_stream, so the latency/loss draws of the
+  /// link stream itself are bit-identical whether or not faults are
+  /// enabled.  In per-link mode the fault hook and duplicate-delay draws
+  /// use this stream, making every fault decision a pure function of
+  /// (src, dst, per-link sequence number) — exec::ParallelRuntime derives
+  /// the identical stream per shard-local link.
+  static util::Rng link_fault_stream(std::uint64_t seed_base, ProcessId src,
+                                     ProcessId dst);
+
   /// Deterministic message id for the `seq`-th send on (src, dst).
   static MsgId link_msg_id(ProcessId src, ProcessId dst, std::uint64_t seq);
 
@@ -155,6 +165,9 @@ class Network {
   /// Per-ordered-pair state of the deterministic per-link mode.
   struct LinkState {
     util::Rng rng{0};
+    /// Fault-decision draws for this link (link_fault_stream); keeps fault
+    /// outcomes independent of which executor discovers the sends.
+    util::Rng fault_rng{0};
     std::uint64_t seq = 0;
     sim::Time fifo_horizon = 0;
   };

@@ -44,6 +44,7 @@ bool Scheduler::pop_and_fire() {
   queue_.pop();
   OCSP_CHECK(top.when >= now_);
   now_ = top.when;
+  last_fired_ = top.when;
   pending_seqs_.erase(top.seq);
   ++fired_count_;
   top.cb();

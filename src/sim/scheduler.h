@@ -69,6 +69,11 @@ class Scheduler {
   Time next_time();
 
   Time now() const { return now_; }
+  /// Firing time of the latest event that actually ran (0 before the first).
+  /// Unlike now(), run_until never advances this to the deadline, so after a
+  /// drain it is the true last-event time — what an executor with no
+  /// deadline should report as its finish time.
+  Time last_fired() const { return last_fired_; }
   bool empty() const { return pending_seqs_.empty(); }
   std::size_t pending() const { return pending_seqs_.size(); }
   std::uint64_t fired_count() const { return fired_count_; }
@@ -95,6 +100,7 @@ class Scheduler {
   void drop_cancelled_top();
 
   Time now_ = 0;
+  Time last_fired_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_count_ = 0;
   std::size_t peak_pending_ = 0;

@@ -51,6 +51,10 @@
 #include "trace/timeline.h"
 #include "util/rng.h"
 
+namespace ocsp::exec {
+class ParallelRuntime;
+}  // namespace ocsp::exec
+
 namespace ocsp::spec {
 
 class Runtime;
@@ -215,6 +219,9 @@ class SpeculativeProcess {
 
  private:
   friend class Runtime;
+  // The parallel executor orchestrates crash/restart and incarnation
+  // observation exactly as Runtime does, per shard.
+  friend class ocsp::exec::ParallelRuntime;
 
   // ---- scheduling -----------------------------------------------------
   void schedule_step(std::uint32_t thread_index);
